@@ -1,0 +1,95 @@
+"""Figure 9a: group-by latency vs number of groups.
+
+Paper: with very few groups Seabed suffers a reducer bottleneck that the
+group-inflation optimisation fixes ("Seabed - optimized"); Seabed beats
+Paillier by 5-10x, the gap narrowing as groups grow and shuffle dominates;
+NoEnc stays cheapest throughout.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import ResultSink, format_table
+from repro.core.proxy import SeabedClient
+from repro.core.schema import ColumnSpec, TableSchema
+from repro.workloads import synthetic
+
+
+def _client(mode, rows, groups, cluster, scale):
+    data = synthetic.generate(rows, seed=4, num_groups=groups)
+    schema = TableSchema("synth", [
+        ColumnSpec("value", dtype="int", sensitive=True, nbits=32),
+        ColumnSpec("grp", dtype="int", sensitive=True),
+    ])
+    client = SeabedClient(mode=mode, cluster=cluster,
+                          paillier_bits=scale["paillier_bits"],
+                          paillier_blinding_pool=32, seed=1)
+    client.create_plan(schema, [
+        "SELECT grp, sum(value) FROM synth GROUP BY grp",
+        "SELECT sum(value) FROM synth WHERE grp = 1",
+    ])
+    client.upload("synth", data.columns, num_partitions=64)
+    return client
+
+
+def test_fig9a_groupby(benchmark, scale):
+    from repro.engine.cluster import ClusterConfig, SimulatedCluster
+
+    rows = scale["fig9a_rows"]
+    # Startup floor *and* shuffle bandwidth scale with the dataset
+    # (DESIGN.md Section 4): the paper's reducer-bandwidth bottleneck only
+    # exists relative to its 1.75B-row shuffles.
+    cluster = SimulatedCluster(ClusterConfig(
+        cores=100, job_startup_s=0.0005, task_startup_s=2e-5,
+        shuffle_bandwidth_bytes_s=2e6,
+    ))
+    group_counts = scale["fig9a_groups"]
+    sql = "SELECT grp, sum(value) FROM synth GROUP BY grp"
+    series = {"NoEnc": [], "Paillier": [], "Seabed": [], "Seabed-optimized": []}
+
+    def sweep():
+        for groups in group_counts:
+            plain = _client("plain", rows, groups, cluster, scale)
+            seabed = _client("seabed", rows, groups, cluster, scale)
+            paillier = _client("paillier", rows, groups, cluster, scale)
+            series["NoEnc"].append(plain.query(sql).total_time)
+            series["Paillier"].append(paillier.query(sql).total_time)
+            # Unoptimised Seabed: no expected-groups hint -> no inflation.
+            series["Seabed"].append(seabed.query(sql).total_time)
+            series["Seabed-optimized"].append(
+                seabed.query(sql, expected_groups=groups).total_time
+            )
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    table_rows = [
+        [f"{groups:,}"] + [f"{series[s][i] * 1e3:,.0f} ms" for s in series]
+        for i, groups in enumerate(group_counts)
+    ]
+    with ResultSink("fig9a_groupby") as sink:
+        sink.emit(format_table(
+            ["Groups"] + list(series), table_rows,
+            title=f"Figure 9a: group-by latency vs group count ({rows:,} rows)",
+        ))
+        small = 0  # the few-groups regime the optimisation targets
+        sink.emit(format_table(
+            ["Shape check", "Paper", "Measured"],
+            [
+                ("optimized <= unoptimized at few groups", "yes", str(
+                    series["Seabed-optimized"][small]
+                    <= series["Seabed"][small] * 1.05
+                )),
+                ("Paillier / Seabed-opt across sweep", "5-10x", " / ".join(
+                    f"{series['Paillier'][i] / series['Seabed-optimized'][i]:.1f}x"
+                    for i in range(len(group_counts))
+                )),
+                ("NoEnc cheapest everywhere", "yes", str(all(
+                    series["NoEnc"][i] <= series["Seabed-optimized"][i] * 1.05
+                    for i in range(len(group_counts))
+                ))),
+            ],
+            title="Paper-vs-measured",
+        ))
+
+    for i in range(len(group_counts)):
+        assert series["Paillier"][i] > series["Seabed-optimized"][i]

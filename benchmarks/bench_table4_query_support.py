@@ -1,0 +1,72 @@
+"""Table 4 (and Table 6): query-support categories.
+
+Classifies the three query sets the paper analyses -- the ad-analytics
+production log, TPC-DS, and the MDX function catalog -- into the four
+support categories and prints Table 4, plus the full per-function Table 6.
+MDX and TPC-DS totals must match the paper exactly; the ad-analytics log
+is synthetic, so its *fractions* must match the published split.
+"""
+
+from repro.bench import ResultSink, format_table
+from repro.core.classify import CategoryCounts
+from repro.workloads import adanalytics, mdx, tpcds
+
+CATEGORY_LABEL = {
+    "S": "Purely on Server", "CPre": "Client Pre-processing",
+    "CPost": "Client Post-processing", "2R": "Two Round-trips",
+}
+
+
+def test_table4_query_support(benchmark):
+    ada_counts = CategoryCounts("Ad Analytics")
+    log = benchmark.pedantic(
+        lambda: adanalytics.generate_query_log(adanalytics.PAPER_LOG_TOTAL // 16,
+                                               seed=0),
+        rounds=1, iterations=1,
+    )
+    for q in log:
+        ada_counts.add(q.category)
+
+    rows = []
+    headers = ["Query set", "Total", "Purely on Server", "Client Pre-processing",
+               "Client Post-processing", "Two Round-trips"]
+    rows.append(["Ad Analytics (synthetic log)"] + [
+        ada_counts.row()[h] for h in headers[1:]
+    ])
+    tpc = tpcds.category_counts()
+    rows.append(["TPC-DS", tpc["Total"], tpc["S"], tpc["CPre"], tpc["CPost"],
+                 tpc["2R"]])
+    m = mdx.category_counts()
+    rows.append(["MDX", m["Total"], m["S"], m["CPre"], m["CPost"], m["2R"]])
+
+    with ResultSink("table4_query_support") as sink:
+        sink.emit(format_table(headers, rows,
+                               title="Table 4: query-support categories"))
+        sink.emit(format_table(
+            ["Query set", "Paper", "Measured"],
+            [
+                ("TPC-DS", "99 / 69 / 2 / 25 / 3",
+                 f"{tpc['Total']} / {tpc['S']} / {tpc['CPre']} / {tpc['CPost']} / {tpc['2R']}"),
+                ("MDX", "38 / 17 / 12 / 4 / 5",
+                 f"{m['Total']} / {m['S']} / {m['CPre']} / {m['CPost']} / {m['2R']}"),
+                ("AdA server fraction",
+                 f"{adanalytics.PAPER_LOG_SERVER / adanalytics.PAPER_LOG_TOTAL:.1%}",
+                 f"{ada_counts.counts['S'] / ada_counts.total:.1%}"),
+            ],
+            title="Paper-vs-measured",
+        ))
+        table6_rows = [
+            (f.number, f.name, f.description, f.how_supported, f.category)
+            for f in mdx.MDX_CATALOG
+        ]
+        sink.emit(format_table(
+            ["#", "Function", "Description", "How Seabed supports it", "Type"],
+            table6_rows,
+            title="Table 6: MDX functions supported by Seabed",
+        ))
+
+    assert tpc == tpcds.PAPER_COUNTS
+    assert m == mdx.PAPER_COUNTS
+    server_fraction = ada_counts.counts["S"] / ada_counts.total
+    paper_fraction = adanalytics.PAPER_LOG_SERVER / adanalytics.PAPER_LOG_TOTAL
+    assert abs(server_fraction - paper_fraction) < 0.03

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Frequency attacks on DET, and the SPLASHE defence (paper Sections 1, 3).
+
+A cloud operator observing a deterministically encrypted `country` column
+sees its exact histogram.  With auxiliary knowledge (say, census data) it
+decrypts the column without any key.  Enhanced SPLASHE balances the
+ciphertext frequencies with dummy entries, pushing the attacker back to
+random guessing -- while every aggregation stays answerable.
+
+Run:  python examples/frequency_attack.py
+"""
+
+import numpy as np
+
+from repro.attacks.frequency import frequency_attack, uniformity_chi2
+from repro.core import splashe
+from repro.crypto.det import DetScheme
+
+rng = np.random.default_rng(7)
+N = 20_000
+DISTRIBUTION = {
+    "usa": 0.42, "canada": 0.31, "india": 0.11, "china": 0.07,
+    "brazil": 0.05, "france": 0.03, "kenya": 0.01,
+}
+VALUES = list(DISTRIBUTION)
+key = b"this-is-a-32-byte-demo-key!!####"
+
+plain = rng.choice(VALUES, N, p=list(DISTRIBUTION.values()))
+codes = np.array([VALUES.index(v) for v in plain])
+
+# -- plain DET: the attack wins ------------------------------------------------
+det = DetScheme(key)
+cipher = det.encrypt_column(codes)
+truth = {det.encrypt_one(i): v for i, v in enumerate(VALUES)}
+attack = frequency_attack(cipher, DISTRIBUTION, true_mapping=truth,
+                          method="optimal")
+print("Against deterministic encryption:")
+print(f"  attacker recovers {attack.summary()}")
+print(f"  histogram uniformity p-value: {uniformity_chi2(cipher):.2e}")
+
+# -- enhanced SPLASHE: frequencies balanced ----------------------------------------
+counts = np.bincount(codes, minlength=len(VALUES))
+order = np.argsort(-counts)
+k = splashe.choose_k(sorted(counts.tolist(), reverse=True))
+frequent = sorted(order[:k].tolist())
+print(f"\nEnhanced SPLASHE splays the top k={k} values "
+      f"({[VALUES[c] for c in frequent]}) into their own ASHE columns;")
+balanced = splashe.balance_det_codes(codes, frequent, len(VALUES), rng)
+cipher_balanced = det.encrypt_column(balanced)
+attack2 = frequency_attack(cipher_balanced, DISTRIBUTION, true_mapping=truth,
+                           method="optimal")
+print("the remaining DET column is frequency-balanced with dummy entries:")
+print(f"  attacker now recovers {attack2.summary()}")
+print(f"  histogram uniformity p-value: {uniformity_chi2(cipher_balanced):.3f}")
+
+infrequent = [v for c, v in enumerate(VALUES) if c not in frequent]
+print(f"\n  (chance level for the {len(infrequent)} infrequent values is "
+      f"{1 / len(infrequent):.0%}; splayed values never appear in the DET "
+      "column at all)")
+print("\nStorage cost of the defence (Section 3.4):")
+basic = splashe.storage_overhead_factor(len(VALUES), 1, k=None)
+enhanced = splashe.storage_overhead_factor(len(VALUES), 1, k=k)
+print(f"  basic SPLASHE:    {basic:.1f}x")
+print(f"  enhanced SPLASHE: {enhanced:.1f}x")

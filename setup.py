@@ -1,0 +1,7 @@
+"""Setup shim: enables offline editable installs (`python setup.py develop`)
+in environments without the `wheel` package, where pip's PEP-660 editable
+build is unavailable. Configuration lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

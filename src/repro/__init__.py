@@ -1,0 +1,40 @@
+"""Seabed reproduction: big-data analytics over encrypted datasets.
+
+This package reimplements the system described in *Big Data Analytics over
+Encrypted Datasets with Seabed* (OSDI 2016): the ASHE and SPLASHE encryption
+schemes, the Seabed planner / encryptor / translator / decryptor pipeline,
+a Paillier baseline, and a simulated-cluster columnar engine standing in for
+the paper's Spark deployment.
+
+Public entry points:
+
+- :class:`repro.core.proxy.SeabedClient` -- the client-side proxy (plan,
+  upload, query, scan, linear_regression).
+- :class:`repro.core.schema.TableSchema` / :class:`ColumnSpec` -- schema
+  declarations fed to the planner.
+- :mod:`repro.crypto` -- ASHE, DET, ORE, Paillier, PRFs.
+- :mod:`repro.engine` -- the execution substrate.
+- :mod:`repro.workloads` -- dataset and query-set generators used by the
+  benchmark harness.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["ColumnSpec", "SeabedClient", "TableSchema", "__version__"]
+
+_LAZY = {
+    "SeabedClient": ("repro.core.proxy", "SeabedClient"),
+    "ColumnSpec": ("repro.core.schema", "ColumnSpec"),
+    "TableSchema": ("repro.core.schema", "TableSchema"),
+}
+
+
+def __getattr__(name):
+    # Lazy imports keep `import repro` cheap and break no subpackage cycles.
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

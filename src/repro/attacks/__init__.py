@@ -1,0 +1,5 @@
+"""Adversarial analyses: the frequency attack SPLASHE defends against."""
+
+from repro.attacks.frequency import FrequencyAttackResult, frequency_attack
+
+__all__ = ["FrequencyAttackResult", "frequency_attack"]

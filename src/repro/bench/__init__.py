@@ -1,0 +1,6 @@
+"""Benchmark-harness support: table rendering and result recording."""
+
+from repro.bench.harness import ResultSink, cdf_points
+from repro.bench.tables import format_table
+
+__all__ = ["ResultSink", "cdf_points", "format_table"]

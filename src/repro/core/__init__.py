@@ -1,0 +1,28 @@
+"""Seabed core: planner, encryption module, translator, server, decryptor.
+
+This package is the paper's Figure 5 in code:
+
+- :mod:`repro.core.schema` -- plaintext schemas and the encrypted-schema
+  plans the planner produces.
+- :mod:`repro.core.planner` -- classifies columns as dimensions/measures
+  from a sample query set and picks encryption schemes (Section 4.2).
+- :mod:`repro.core.splashe` -- basic and enhanced SPLASHE transforms
+  (Sections 3.3-3.4), including the `k`-selection rule and the
+  dummy-entry frequency balancing.
+- :mod:`repro.core.encryptor` -- the client-side encryption module
+  (Section 4.3).
+- :mod:`repro.core.translator` -- rewrites plaintext queries for the
+  encrypted schema (Section 4.4, Table 2).
+- :mod:`repro.core.server` -- the untrusted server: filter evaluation over
+  tokens, ASHE aggregation with ID-list construction, group-by with
+  optional inflation (Section 4.5).
+- :mod:`repro.core.decryptor` -- client-side decryption and
+  post-processing (Section 4.6).
+- :mod:`repro.core.proxy` -- the :class:`SeabedClient` facade tying it all
+  together, plus NoEnc and Paillier baseline modes.
+"""
+
+from repro.core.proxy import SeabedClient
+from repro.core.schema import ColumnSpec, Sensitivity, TableSchema
+
+__all__ = ["ColumnSpec", "SeabedClient", "Sensitivity", "TableSchema"]

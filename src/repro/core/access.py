@@ -1,0 +1,69 @@
+"""Proxy-side access control (paper Section 4.3).
+
+Symmetric keys are normally hard to revoke -- once shared, only
+re-encryption invalidates them.  Seabed sidesteps this because the proxy
+mediates every query: the secret keys never leave it, so access can be
+granted, limited to specific tables, and revoked instantly without
+touching the ciphertexts ("it can revoke or limit their access without
+re-encryption").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SeabedError
+
+
+class AccessError(SeabedError):
+    """A user attempted a query they are not authorised to run."""
+
+
+@dataclass
+class _Grant:
+    tables: set[str] | None  # None = all tables
+    revoked: bool = False
+
+
+@dataclass
+class AccessController:
+    """Tracks per-user grants; consulted by the proxy before each query."""
+
+    _grants: dict[str, _Grant] = field(default_factory=dict)
+
+    def grant(self, user: str, tables: set[str] | None = None) -> None:
+        """Allow ``user`` to query ``tables`` (None = every table).
+        Re-granting un-revokes."""
+        self._grants[user] = _Grant(tables=set(tables) if tables else None)
+
+    def limit(self, user: str, tables: set[str]) -> None:
+        """Restrict an existing user to a subset of tables."""
+        grant = self._grants.get(user)
+        if grant is None or grant.revoked:
+            raise AccessError(f"user {user!r} has no active grant to limit")
+        grant.tables = set(tables)
+
+    def revoke(self, user: str) -> None:
+        """Invalidate a user immediately; no re-encryption required."""
+        grant = self._grants.get(user)
+        if grant is None:
+            raise AccessError(f"user {user!r} was never granted access")
+        grant.revoked = True
+
+    def check(self, user: str | None, table: str) -> None:
+        """Raise :class:`AccessError` unless ``user`` may query ``table``."""
+        if user is None:
+            raise AccessError("access control is enabled; a user is required")
+        grant = self._grants.get(user)
+        if grant is None:
+            raise AccessError(f"user {user!r} has no grant")
+        if grant.revoked:
+            raise AccessError(f"user {user!r} has been revoked")
+        if grant.tables is not None and table not in grant.tables:
+            raise AccessError(
+                f"user {user!r} may not query table {table!r}"
+            )
+
+    def is_active(self, user: str) -> bool:
+        grant = self._grants.get(user)
+        return grant is not None and not grant.revoked

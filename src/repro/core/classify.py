@@ -1,0 +1,82 @@
+"""Query-support classification (paper Section 5, Tables 4 and 6).
+
+Seabed sorts analytical queries into four support categories:
+
+- ``S``     -- computed fully on the server (sums, counts, min/max via
+  ORE, averages with only a trailing client division);
+- ``CPre``  -- needs client *pre*-processing at upload time (squared
+  columns for variance/stddev/covariance, auxiliary counters);
+- ``CPost`` -- needs client *post*-processing (user-defined functions,
+  conditional values, model evaluation);
+- ``2R``    -- needs two client round-trips (iterative computations such
+  as linear regression, where an intermediate result is re-encrypted and
+  sent back).
+
+:func:`classify_query` handles pure-AST queries; :func:`classify_features`
+handles catalog entries (MDX functions, TPC-DS templates, ad-analytics
+logs) whose classification depends on structural features our SQL subset
+does not express (UDFs, iteration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.query.ast import QUADRATIC_AGGS, Query
+
+CATEGORIES = ("S", "CPre", "CPost", "2R")
+
+#: Aggregate functions needing client-side squared (or cross-term) columns.
+_PRECOMPUTE_AGGS = QUADRATIC_AGGS | {"correlation", "covariance"}
+
+
+@dataclass(frozen=True)
+class QueryFeatures:
+    """Structural features driving the support category."""
+
+    aggregates: frozenset[str] = frozenset()
+    has_udf: bool = False  # arbitrary user-defined function over the data
+    returns_data_for_client_compute: bool = False  # Monomi-style splitting
+    iterative: bool = False  # needs an encrypted intermediate round-trip
+    needs_precomputed_column: bool = False  # e.g. CoalesceEmpty counters
+
+    def category(self) -> str:
+        if self.iterative:
+            return "2R"
+        if self.has_udf or self.returns_data_for_client_compute:
+            return "CPost"
+        if self.needs_precomputed_column or (self.aggregates & _PRECOMPUTE_AGGS):
+            return "CPre"
+        return "S"
+
+
+def classify_features(features: QueryFeatures) -> str:
+    return features.category()
+
+
+def classify_query(query: Query) -> str:
+    """Category for a pure SQL-subset query (no UDFs expressible)."""
+    aggs = frozenset(a.func for a in query.aggregates())
+    return QueryFeatures(aggregates=aggs).category()
+
+
+@dataclass
+class CategoryCounts:
+    """Tallies for one query set (one row of the paper's Table 4)."""
+
+    name: str
+    total: int = 0
+    counts: dict[str, int] = field(default_factory=lambda: {c: 0 for c in CATEGORIES})
+
+    def add(self, category: str, n: int = 1) -> None:
+        self.counts[category] += n
+        self.total += n
+
+    def row(self) -> dict[str, int]:
+        return {
+            "Total": self.total,
+            "Purely on Server": self.counts["S"],
+            "Client Pre-processing": self.counts["CPre"],
+            "Client Post-processing": self.counts["CPost"],
+            "Two Round-trips": self.counts["2R"],
+        }

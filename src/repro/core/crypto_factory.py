@@ -1,0 +1,61 @@
+"""Per-column scheme instantiation from the master key chain.
+
+Section 4.2: "We choose a different secret key k for each new column we
+encrypt."  The factory derives one subkey per physical column (or per join
+group, so equi-join columns in different tables share DET ciphertexts) and
+caches scheme instances.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.ashe import AsheScheme
+from repro.crypto.det import DetScheme
+from repro.crypto.keys import KeyChain
+from repro.crypto.ore import OreScheme
+from repro.crypto.prf import prf_from_name
+
+
+class CryptoFactory:
+    """Caches ASHE/DET/ORE instances keyed by physical column name."""
+
+    def __init__(
+        self,
+        keychain: KeyChain,
+        table: str,
+        prf_backend: str = "splitmix64",
+        det_backend: str = "fast",
+        ore_backend: str = "fast",
+    ):
+        self._keychain = keychain
+        self._table = table
+        self._prf_backend = prf_backend
+        self._det_backend = det_backend
+        self._ore_backend = ore_backend
+        self._ashe: dict[str, AsheScheme] = {}
+        self._det: dict[str, DetScheme] = {}
+        self._ore: dict[str, OreScheme] = {}
+
+    def ashe(self, physical_column: str) -> AsheScheme:
+        if physical_column not in self._ashe:
+            key = self._keychain.column_key(self._table, physical_column, "ashe")
+            self._ashe[physical_column] = AsheScheme(prf_from_name(self._prf_backend, key))
+        return self._ashe[physical_column]
+
+    def det(self, physical_column: str, join_group: str | None = None) -> DetScheme:
+        cache_key = f"join:{join_group}" if join_group else physical_column
+        if cache_key not in self._det:
+            if join_group:
+                key = self._keychain.derive("join", join_group, "det")
+            else:
+                key = self._keychain.column_key(self._table, physical_column, "det")
+            self._det[cache_key] = DetScheme(key, backend=self._det_backend)
+        return self._det[cache_key]
+
+    def ore(self, physical_column: str, nbits: int = 32, signed: bool = True) -> OreScheme:
+        cache_key = f"{physical_column}/{nbits}/{signed}"
+        if cache_key not in self._ore:
+            key = self._keychain.column_key(self._table, physical_column, "ore")
+            self._ore[cache_key] = OreScheme(
+                key, nbits=nbits, signed=signed, backend=self._ore_backend
+            )
+        return self._ore[cache_key]

@@ -1,0 +1,501 @@
+"""The client-side decryption module (paper Section 4.6).
+
+Takes a :class:`~repro.core.translator.TranslatedQuery` and the server's
+responses and produces plaintext result rows identical to what the
+plaintext executor would return:
+
+- ASHE aggregates: decompress the ID-list chunks, accumulate the PRF pad
+  per run (two evaluations per run; per occurrence for join multisets),
+  add to the ciphertext sum, interpret as signed;
+- counts: read off ID-list lengths or decrypt indicator sums;
+- averages / variances: the client-side division and combination
+  (Monomi-style query splitting, Section 4.2);
+- group keys: DET-decrypt and dictionary-decode, and merge the groups the
+  group-inflation optimisation split apart;
+- SPLASHE group-by: assemble per-value rows from the splayed sums and the
+  enhanced-mode catch-all grouped request, using indicator counts to
+  suppress empty groups (dummy rows decrypt to zero and vanish here).
+
+No integrity checks are performed: the threat model is honest-but-curious
+(Section 4.6), so a malicious server could return bogus sums undetected.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from repro.core import server as srv
+from repro.core.crypto_factory import CryptoFactory
+from repro.core.encryptor import ClientTableState
+from repro.core.translator import OutputItem, Ref, TranslatedQuery
+from repro.crypto.ashe import MASK64, to_signed
+from repro.crypto.paillier import PaillierScheme
+from repro.errors import DecryptionError
+from repro.idlist import IdList
+from repro.idlist.codec import decode as codec_decode
+from repro.idlist.codec import (
+    decode_chunks_batch,
+    decode_multiset,
+    is_multiset_payload,
+)
+from repro.query.executor import order_and_limit
+
+
+class DecryptionModule:
+    """Decrypts server responses for one table's client state."""
+
+    def __init__(
+        self,
+        state: ClientTableState,
+        factory: CryptoFactory,
+        paillier: PaillierScheme | None = None,
+    ):
+        self._state = state
+        self._factory = factory
+        self._paillier = paillier
+
+    # -- entry point -------------------------------------------------------------
+
+    def decrypt(
+        self, tq: TranslatedQuery, responses: list[srv.ServerResponse]
+    ) -> list[dict[str, Any]]:
+        if len(responses) != len(tq.requests):
+            raise DecryptionError(
+                f"expected {len(tq.requests)} responses, got {len(responses)}"
+            )
+        agg_index = [
+            {agg.alias: agg for agg in request.aggs} for request in tq.requests
+        ]
+        if tq.shape == "flat":
+            rows = [self._assemble_flat(tq, responses, agg_index)]
+            rows = [r for r in rows if r]
+        elif tq.shape == "grouped":
+            rows = self._assemble_grouped(tq, responses, agg_index)
+        elif tq.shape == "splashe_group":
+            rows = self._assemble_splashe_group(tq, responses, agg_index)
+        else:
+            raise DecryptionError(f"unknown result shape {tq.shape!r}")
+        return order_and_limit(rows, tq.query)
+
+    # -- payload decryption -------------------------------------------------------
+
+    def _decrypt_payload(self, payload: Any, agg: srv.AggOp) -> Any:
+        """Decrypt one aggregate payload to a signed integer (or value)."""
+        if payload is None:
+            return None
+        tag = payload[0]
+        if tag == "ashe":
+            assert isinstance(agg, srv.AsheSum)
+            scheme = self._factory.ashe(agg.column)
+            total = payload[1]
+            pad = 0
+            for chunk in payload[2]:
+                if is_multiset_payload(chunk):
+                    pad = (pad + scheme.pad_for_multiset(decode_multiset(chunk))) & MASK64
+                else:
+                    pad = (pad + scheme.pad_for(codec_decode(chunk))) & MASK64
+            return to_signed((total + pad) & MASK64)
+        if tag == "plain":
+            return payload[1]
+        if tag == "paillier":
+            if self._paillier is None:
+                raise DecryptionError("paillier response without a scheme")
+            return self._paillier.decrypt_crt(payload[1])
+        if tag == "extreme":
+            raise DecryptionError("extreme payloads need _decrypt_extreme")
+        raise DecryptionError(f"unknown payload tag {tag!r}")
+
+    def _decrypt_extreme(self, payload: Any, agg: srv.AggOp, mode: str) -> Any:
+        if payload is None:
+            return None
+        if mode == "plain":
+            # NoEnc: the server computed min/max/median directly.
+            return payload[1]
+        _, value, row_id, _ct = payload
+        if mode == "paillier":
+            if self._paillier is None:
+                raise DecryptionError("paillier response without a scheme")
+            return self._paillier.decrypt_crt(value)
+        column = agg.payload_column  # type: ignore[union-attr]
+        scheme = self._factory.ashe(column)
+        return scheme.decrypt_sum(value, IdList.from_range(row_id, row_id + 1))
+
+    @staticmethod
+    def _count_from_payload(payload: Any) -> int:
+        """Row count read off an ASHE ID list (free with any aggregate)."""
+        if payload is None:
+            return 0
+        if payload[0] != "ashe":
+            raise DecryptionError("count_ids requires an ASHE payload")
+        total = 0
+        for chunk in payload[2]:
+            if is_multiset_payload(chunk):
+                total += len(decode_multiset(chunk))
+            else:
+                total += codec_decode(chunk).count()
+        return total
+
+    # -- flat results ---------------------------------------------------------------
+
+    def _lookup(
+        self,
+        responses: list[srv.ServerResponse],
+        agg_index: list[dict[str, srv.AggOp]],
+        ref: Ref,
+    ) -> tuple[Any, srv.AggOp]:
+        req, alias = ref
+        response = responses[req]
+        if response.kind != "flat":
+            raise DecryptionError("flat lookup against a grouped response")
+        return response.flat.get(alias), agg_index[req][alias]
+
+    def _sum_refs(
+        self,
+        refs: list[Ref],
+        responses: list[srv.ServerResponse],
+        agg_index: list[dict[str, srv.AggOp]],
+    ) -> int | None:
+        total: int | None = None
+        for ref in refs:
+            payload, agg = self._lookup(responses, agg_index, ref)
+            value = self._decrypt_payload(payload, agg)
+            if value is not None:
+                total = value if total is None else total + value
+        return total
+
+    def _count_refs(
+        self,
+        item: OutputItem,
+        responses: list[srv.ServerResponse],
+        agg_index: list[dict[str, srv.AggOp]],
+    ) -> int:
+        total = 0
+        for ref in item.count_refs:
+            payload, agg = self._lookup(responses, agg_index, ref)
+            if item.count_mode == "ids":
+                total += self._count_from_payload(payload)
+            else:
+                value = self._decrypt_payload(payload, agg)
+                total += int(value) if value is not None else 0
+        return total
+
+    def _assemble_flat(
+        self,
+        tq: TranslatedQuery,
+        responses: list[srv.ServerResponse],
+        agg_index: list[dict[str, srv.AggOp]],
+    ) -> dict[str, Any]:
+        row: dict[str, Any] = {}
+        for item in tq.outputs:
+            row[item.name] = self._assemble_item(item, responses, agg_index)
+        return row
+
+    def _assemble_item(
+        self,
+        item: OutputItem,
+        responses: list[srv.ServerResponse],
+        agg_index: list[dict[str, srv.AggOp]],
+    ) -> Any:
+        if item.kind == "sum":
+            return self._sum_refs(item.sum_refs, responses, agg_index)
+        if item.kind == "count":
+            return self._count_refs(item, responses, agg_index)
+        if item.kind == "avg":
+            total = self._sum_refs(item.sum_refs, responses, agg_index)
+            count = self._count_refs(item, responses, agg_index)
+            return None if not count else total / count
+        if item.kind in ("var", "stddev"):
+            total = self._sum_refs(item.sum_refs, responses, agg_index)
+            sumsq = self._sum_refs(item.sumsq_refs, responses, agg_index)
+            count = self._count_refs(item, responses, agg_index)
+            if not count or total is None or sumsq is None:
+                return None
+            mean = total / count
+            variance = max(sumsq / count - mean * mean, 0.0)
+            return variance if item.kind == "var" else math.sqrt(variance)
+        if item.kind in ("min", "max", "median"):
+            assert item.extreme_ref is not None and item.extreme_mode is not None
+            payload, agg = self._lookup(responses, agg_index, item.extreme_ref)
+            value = self._decrypt_extreme(payload, agg, item.extreme_mode)
+            if value is not None and item.kind == "median":
+                return float(value)
+            return value
+        raise DecryptionError(f"cannot assemble output kind {item.kind!r}")
+
+    # -- grouped results -------------------------------------------------------------
+
+    def _decode_group_key(self, tq: TranslatedQuery, key: int) -> Any:
+        dim = tq.group_dim
+        assert dim is not None
+        spec = self._state.schema.column(dim)
+        if tq.group_decode == "plain":
+            code = to_signed(key)
+            if spec.dtype == "str":
+                return self._state.dictionaries[dim].value(code)
+            return code
+        if tq.group_decode == "det":
+            plan = self._state.enc_schema.plan(dim)
+            det = self._factory.det(plan.cipher_column, getattr(plan, "join_group", None))
+            code = to_signed(det.decrypt_one(key))
+            if spec.dtype == "str":
+                return self._state.dictionaries[dim].value(code)
+            return code
+        raise DecryptionError(f"unknown group decode {tq.group_decode!r}")
+
+    @staticmethod
+    def _merge_group_payloads(
+        response: srv.ServerResponse, aggs: dict[str, srv.AggOp]
+    ) -> dict[int, dict[str, Any]]:
+        """Merge inflated (key, suffix) entries back to per-key payloads --
+        the client-side half of the group-by optimisation."""
+        merged: dict[int, dict[str, list[Any]]] = {}
+        for key, _suffix, payloads in response.groups:
+            slot = merged.setdefault(key, {alias: [] for alias in aggs})
+            for alias, payload in payloads.items():
+                if payload is not None:
+                    slot[alias].append(payload)
+        out: dict[int, dict[str, Any]] = {}
+        for key, per_alias in merged.items():
+            out[key] = {
+                alias: srv.merge_payloads(aggs[alias], pieces)
+                for alias, pieces in per_alias.items()
+            }
+        return out
+
+    def _batch_decrypt_ashe_groups(
+        self,
+        merged: dict[int, dict[int, dict[str, Any]]],
+        agg_index: list[dict[str, srv.AggOp]],
+    ) -> dict[tuple[int, str], dict[int, tuple[int, int]]]:
+        """Decrypt every group's ASHE payload per alias in one pass.
+
+        Returns ``cache[(request, alias)][group key] = (plaintext, count)``.
+        Concatenating every group's chunks, decoding them together, and
+        segmenting one big pad array with ``reduceat`` turns thousands of
+        per-group decodes into a few numpy passes (the client-side analogue
+        of the paper's worker-side batching).
+        """
+        cache: dict[tuple[int, str], dict[int, tuple[int, int]]] = {}
+        for req, per_key in merged.items():
+            for alias, agg in agg_index[req].items():
+                if not isinstance(agg, srv.AsheSum):
+                    continue
+                scheme = self._factory.ashe(agg.column)
+                keys: list[int] = []
+                totals: list[int] = []
+                flat_chunks: list[bytes] = []
+                chunk_owner: list[int] = []
+                for key, payloads in per_key.items():
+                    payload = payloads.get(alias)
+                    if payload is None:
+                        continue
+                    keys.append(key)
+                    totals.append(payload[1])
+                    for chunk in payload[2]:
+                        flat_chunks.append(chunk)
+                        chunk_owner.append(len(keys) - 1)
+                entry: dict[int, tuple[int, int]] = {}
+                cache[(req, alias)] = entry
+                if not keys:
+                    continue
+                ids, chunk_counts = decode_chunks_batch(flat_chunks)
+                pads = scheme.pad_array(ids)
+                nonempty = chunk_counts > 0
+                chunk_starts = np.concatenate(
+                    [[0], np.cumsum(chunk_counts)[:-1]]
+                )[nonempty].astype(np.int64)
+                per_chunk = np.zeros(len(flat_chunks), dtype=np.uint64)
+                if chunk_starts.size:
+                    per_chunk[nonempty] = np.add.reduceat(pads, chunk_starts)
+                pad_by_key = np.zeros(len(keys), dtype=np.uint64)
+                count_by_key = np.zeros(len(keys), dtype=np.int64)
+                owners = np.asarray(chunk_owner, dtype=np.int64)
+                np.add.at(pad_by_key, owners, per_chunk)
+                np.add.at(count_by_key, owners, chunk_counts)
+                for j, key in enumerate(keys):
+                    plain = to_signed((totals[j] + int(pad_by_key[j])) & MASK64)
+                    entry[key] = (plain, int(count_by_key[j]))
+        return cache
+
+    def _assemble_grouped(
+        self,
+        tq: TranslatedQuery,
+        responses: list[srv.ServerResponse],
+        agg_index: list[dict[str, srv.AggOp]],
+    ) -> list[dict[str, Any]]:
+        # Merge every grouped response once, keyed by request index.
+        merged: dict[int, dict[int, dict[str, Any]]] = {}
+        for req, response in enumerate(responses):
+            if response.kind == "grouped":
+                merged[req] = self._merge_group_payloads(response, agg_index[req])
+        all_keys: set[int] = set()
+        for per_key in merged.values():
+            all_keys.update(per_key)
+        ashe_cache = self._batch_decrypt_ashe_groups(merged, agg_index)
+
+        rows: list[dict[str, Any]] = []
+        for key in sorted(all_keys):
+            row: dict[str, Any] = {}
+            non_empty = False
+            for item in tq.outputs:
+                if item.kind == "group_key":
+                    row[item.name] = self._decode_group_key(tq, key)
+                    continue
+                value = self._assemble_group_item(
+                    item, key, merged, agg_index, ashe_cache
+                )
+                row[item.name] = value
+                if item.kind == "count":
+                    non_empty = non_empty or bool(value)
+                else:
+                    non_empty = non_empty or value is not None
+            if non_empty:
+                rows.append(row)
+        return rows
+
+    def _assemble_group_item(
+        self,
+        item: OutputItem,
+        key: int,
+        merged: dict[int, dict[int, dict[str, Any]]],
+        agg_index: list[dict[str, srv.AggOp]],
+        ashe_cache: dict[tuple[int, str], dict[int, tuple[int, int]]],
+    ) -> Any:
+        def lookup(ref: Ref) -> tuple[Any, srv.AggOp]:
+            req, alias = ref
+            payload = merged.get(req, {}).get(key, {}).get(alias)
+            return payload, agg_index[req][alias]
+
+        def decrypted(ref: Ref) -> int | None:
+            cached = ashe_cache.get(ref)
+            if cached is not None:
+                hit = cached.get(key)
+                return hit[0] if hit is not None else None
+            payload, agg = lookup(ref)
+            return self._decrypt_payload(payload, agg)
+
+        def sum_over(refs: list[Ref]) -> int | None:
+            total: int | None = None
+            for ref in refs:
+                value = decrypted(ref)
+                if value is not None:
+                    total = value if total is None else total + value
+            return total
+
+        def count_of() -> int:
+            total = 0
+            for ref in item.count_refs:
+                cached = ashe_cache.get(ref)
+                if item.count_mode == "ids" and cached is not None:
+                    hit = cached.get(key)
+                    total += hit[1] if hit is not None else 0
+                    continue
+                payload, agg = lookup(ref)
+                if item.count_mode == "ids":
+                    total += self._count_from_payload(payload)
+                else:
+                    value = self._decrypt_payload(payload, agg)
+                    total += int(value) if value is not None else 0
+            return total
+
+        if item.kind == "sum":
+            return sum_over(item.sum_refs)
+        if item.kind == "count":
+            return count_of()
+        if item.kind == "avg":
+            total = sum_over(item.sum_refs)
+            count = count_of()
+            return None if not count else total / count
+        if item.kind in ("var", "stddev"):
+            total = sum_over(item.sum_refs)
+            sumsq = sum_over(item.sumsq_refs)
+            count = count_of()
+            if not count or total is None or sumsq is None:
+                return None
+            mean = total / count
+            variance = max(sumsq / count - mean * mean, 0.0)
+            return variance if item.kind == "var" else math.sqrt(variance)
+        raise DecryptionError(
+            f"output kind {item.kind!r} is unsupported inside GROUP BY"
+        )
+
+    # -- SPLASHE group-by -------------------------------------------------------------
+
+    def _assemble_splashe_group(
+        self,
+        tq: TranslatedQuery,
+        responses: list[srv.ServerResponse],
+        agg_index: list[dict[str, srv.AggOp]],
+    ) -> list[dict[str, Any]]:
+        dim = tq.group_dim
+        assert dim is not None
+        plan = self._state.enc_schema.plan(dim)
+        values = plan.values  # type: ignore[union-attr]
+
+        # Enhanced mode: decode the catch-all grouped request per code.
+        others_by_code: dict[int, dict[str, Any]] = {}
+        if tq.group_request is not None:
+            response = responses[tq.group_request]
+            merged = self._merge_group_payloads(response, agg_index[tq.group_request])
+            det = self._factory.det(plan.det_column)  # type: ignore[union-attr]
+            for key, payloads in merged.items():
+                code = to_signed(det.decrypt_one(key))
+                others_by_code[int(code)] = payloads
+
+        def cell_value(item: OutputItem, role: str, code: int) -> Any:
+            ref = item.splashe.get(role, {}).get(code)
+            if ref is None:
+                return None
+            req, alias = ref
+            agg = agg_index[req][alias]
+            if code == -1:
+                raise DecryptionError("catch-all cells use cell_value_others")
+            payload = responses[req].flat.get(alias)
+            return self._decrypt_payload(payload, agg)
+
+        def cell_value_others(item: OutputItem, role: str, code: int) -> Any:
+            ref = item.splashe.get(role, {}).get(-1)
+            if ref is None:
+                return None
+            req, alias = ref
+            agg = agg_index[req][alias]
+            payload = others_by_code.get(code, {}).get(alias)
+            return self._decrypt_payload(payload, agg)
+
+        rows: list[dict[str, Any]] = []
+        frequent_codes = set(tq.splashe_group_codes)
+        all_codes = sorted(frequent_codes | set(others_by_code))
+        if tq.group_request is None:
+            all_codes = sorted(frequent_codes)
+        for code in all_codes:
+            from_others = code not in frequent_codes
+            reader = cell_value_others if from_others else cell_value
+            row: dict[str, Any] = {}
+            count_nonzero = False
+            for item in tq.outputs:
+                if item.kind == "group_key":
+                    row[item.name] = values[code]
+                    continue
+                count = reader(item, "count", code)
+                count = int(count) if count else 0
+                if item.kind == "count":
+                    row[item.name] = count
+                elif item.kind == "sum":
+                    total = reader(item, "sum", code)
+                    row[item.name] = total if count else None
+                elif item.kind == "avg":
+                    total = reader(item, "sum", code)
+                    row[item.name] = (
+                        total / count if count and total is not None else None
+                    )
+                else:
+                    raise DecryptionError(
+                        f"{item.kind!r} is unsupported under SPLASHE group-by"
+                    )
+                count_nonzero = count_nonzero or count > 0
+            if count_nonzero:
+                rows.append(row)
+        return rows

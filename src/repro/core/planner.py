@@ -1,0 +1,340 @@
+"""The Seabed data planner (paper Section 4.2).
+
+Given a plaintext schema, a sample query set, and optional value
+statistics, the planner:
+
+1. classifies each sensitive column as a *measure* (aggregated), a
+   *dimension* (filtered / grouped / joined), or both;
+2. assigns encryption schemes:
+   - linear-aggregated measures -> ASHE (plus a client-side squares column
+     when quadratic aggregates appear, and an ORE column when the measure
+     is range-filtered or min/max'd);
+   - equality-only dimensions -> SPLASHE (enhanced when the value
+     distribution is known, basic otherwise);
+   - joined dimensions -> DET, with a warning (Section 4.2: "we warn the
+     user and then use deterministic encryption");
+   - range-filtered dimensions -> ORE;
+3. enforces a storage budget by prioritising SPLASHE for the
+   lowest-cardinality dimensions first (Section 4.2, Figure 10b).
+
+The same planner also produces the ``paillier`` (CryptDB/Monomi baseline)
+and ``plain`` (NoEnc) schemas so the three systems share one pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import schema as sc
+from repro.core.splashe import choose_k, storage_overhead_factor
+from repro.errors import PlanningError
+from repro.query.ast import (
+    ORDER_AGGS,
+    QUADRATIC_AGGS,
+    Query,
+    predicate_usage,
+)
+
+
+@dataclass
+class ColumnUsage:
+    """How the sample queries touch one column."""
+
+    aggregates: set[str] = field(default_factory=set)
+    predicate_kinds: set[str] = field(default_factory=set)  # eq | range
+    grouped: bool = False
+    joined: bool = False
+
+    @property
+    def is_measure(self) -> bool:
+        return bool(self.aggregates)
+
+    @property
+    def is_dimension(self) -> bool:
+        return bool(self.predicate_kinds) or self.grouped or self.joined
+
+
+@dataclass
+class SplasheDecision:
+    """Per-dimension record of the SPLASHE choice (drives Figure 10b)."""
+
+    column: str
+    cardinality: int
+    num_measures: int
+    chosen: str  # "basic" | "enhanced" | "det-fallback"
+    k: int | None
+    overhead_factor: float
+
+
+@dataclass
+class PlannerReport:
+    usages: dict[str, ColumnUsage]
+    splashe_decisions: list[SplasheDecision]
+    warnings: list[str]
+
+
+def analyze_usage(queries: list[Query]) -> dict[str, ColumnUsage]:
+    """Aggregate column usage over the sample query set."""
+    usages: dict[str, ColumnUsage] = {}
+
+    def usage(name: str) -> ColumnUsage:
+        return usages.setdefault(name, ColumnUsage())
+
+    for q in queries:
+        for agg in q.aggregates():
+            if agg.column is not None:
+                usage(agg.column).aggregates.add(agg.func)
+        for col, kinds in predicate_usage(q.where).items():
+            usage(col).predicate_kinds |= kinds
+        for col in q.group_by:
+            usage(col).grouped = True
+        for col in q.join_columns():
+            usage(col).joined = True
+    return usages
+
+
+class Planner:
+    """Produces an :class:`~repro.core.schema.EncryptedSchema`."""
+
+    def __init__(self, mode: str = "seabed"):
+        if mode not in ("seabed", "paillier", "plain"):
+            raise PlanningError(f"unknown planner mode {mode!r}")
+        self.mode = mode
+
+    def plan(
+        self,
+        table: sc.TableSchema,
+        sample_queries: list[Query],
+        storage_budget: float | None = None,
+    ) -> tuple[sc.EncryptedSchema, PlannerReport]:
+        usages = analyze_usage(sample_queries)
+        warnings: list[str] = []
+        decisions: list[SplasheDecision] = []
+        plans: dict[str, sc.ColumnPlan] = {}
+
+        if self.mode == "plain":
+            for col in table.columns:
+                plans[col.name] = sc.PlainPlan(column=col.name)
+            encrypted = sc.EncryptedSchema(table=table.name, mode="plain", plans=plans)
+            return encrypted, PlannerReport(usages, decisions, warnings)
+
+        # Which measures are aggregated under which dimensions?  Only those
+        # measures need splaying for that dimension (Section 4.2).
+        measures_by_dim = self._measures_by_dimension(sample_queries)
+
+        splashe_candidates: list[sc.ColumnSpec] = []
+        for col in table.columns:
+            use = usages.get(col.name, ColumnUsage())
+            if not col.sensitive:
+                plans[col.name] = sc.PlainPlan(column=col.name)
+                continue
+            if use.is_measure:
+                plans[col.name] = self._plan_measure(col, use, warnings)
+                if use.is_dimension and not use.joined and not use.predicate_kinds - {"eq"}:
+                    # measure that is also an equality dimension: keep the
+                    # DET/ORE fallback chosen in _plan_measure
+                    pass
+                continue
+            if use.is_dimension:
+                if use.joined:
+                    warnings.append(
+                        f"column {col.name!r} participates in a join; falling "
+                        "back to deterministic encryption (frequency attacks "
+                        "possible)"
+                    )
+                    plans[col.name] = self._det_plan(col)
+                elif "range" in use.predicate_kinds:
+                    plans[col.name] = self._ore_plan(col, warnings)
+                else:
+                    # equality / group-by only: SPLASHE candidate
+                    splashe_candidates.append(col)
+                continue
+            # Sensitive but unused in the sample queries: protect with the
+            # strongest randomized scheme that still allows later sums.
+            warnings.append(
+                f"column {col.name!r} is sensitive but unused by the sample "
+                "queries; encrypting with the aggregate scheme"
+            )
+            plans[col.name] = self._plan_measure(col, ColumnUsage({"sum"}), warnings)
+
+        self._plan_splashe(
+            table, splashe_candidates, measures_by_dim, plans, decisions,
+            warnings, storage_budget,
+        )
+
+        encrypted = sc.EncryptedSchema(
+            table=table.name, mode=self.mode, plans=plans, warnings=warnings
+        )
+        return encrypted, PlannerReport(usages, decisions, warnings)
+
+    # -- measures ---------------------------------------------------------
+
+    def _plan_measure(
+        self, col: sc.ColumnSpec, use: ColumnUsage, warnings: list[str]
+    ) -> sc.ColumnPlan:
+        if col.dtype != "int":
+            raise PlanningError(
+                f"measure column {col.name!r} must be integer-typed; encode "
+                "fixed-point values client-side (e.g. cents)"
+            )
+        squares = None
+        if use.aggregates & QUADRATIC_AGGS:
+            # Client pre-processing: upload an encrypted squares column.
+            squares = (
+                sc.paillier_sq_col(col.name)
+                if self.mode == "paillier"
+                else sc.ashe_sq_col(col.name)
+            )
+        ore_column = None
+        if use.aggregates & ORDER_AGGS or "range" in use.predicate_kinds:
+            ore_column = sc.ore_col(col.name)
+        det_column = None
+        if "eq" in use.predicate_kinds and ore_column is None:
+            det_column = sc.det_col(col.name)
+        if self.mode == "paillier":
+            return sc.PaillierPlan(
+                column=col.name,
+                cipher_column=sc.paillier_col(col.name),
+                squares_column=squares,
+                ore_column=ore_column,
+                det_column=det_column,
+            )
+        return sc.AshePlan(
+            column=col.name,
+            cipher_column=sc.ashe_col(col.name),
+            squares_column=squares,
+            ore_column=ore_column,
+            det_column=det_column,
+        )
+
+    # -- dimensions ------------------------------------------------------
+
+    def _det_plan(self, col: sc.ColumnSpec) -> sc.DetPlan:
+        return sc.DetPlan(
+            column=col.name, cipher_column=sc.det_col(col.name), dtype=col.dtype
+        )
+
+    def _ore_plan(self, col: sc.ColumnSpec, warnings: list[str]) -> sc.OrePlan:
+        if col.dtype != "int":
+            raise PlanningError(
+                f"range predicates on non-integer column {col.name!r} are not "
+                "supported; encode an orderable integer representation"
+            )
+        return sc.OrePlan(
+            column=col.name, cipher_column=sc.ore_col(col.name), nbits=col.nbits
+        )
+
+    def _plan_splashe(
+        self,
+        table: sc.TableSchema,
+        candidates: list[sc.ColumnSpec],
+        measures_by_dim: dict[str, set[str]],
+        plans: dict[str, sc.ColumnPlan],
+        decisions: list[SplasheDecision],
+        warnings: list[str],
+        storage_budget: float | None,
+    ) -> None:
+        if self.mode == "paillier":
+            # The baseline systems have no SPLASHE: DET for all of these.
+            for col in candidates:
+                plans[col.name] = self._det_plan(col)
+            return
+        # Lowest cardinality first maximises dimensions protected within the
+        # budget (Section 4.2).
+        def sort_key(col: sc.ColumnSpec):
+            return (col.cardinality is None, col.cardinality or 0, col.name)
+
+        budget_left = storage_budget
+        for col in sorted(candidates, key=sort_key):
+            measures = sorted(measures_by_dim.get(col.name, set()))
+            if col.distinct_values is None:
+                warnings.append(
+                    f"column {col.name!r}: no domain information; SPLASHE "
+                    "needs the set of distinct values -- using DET"
+                )
+                plans[col.name] = self._det_plan(col)
+                continue
+            d = len(col.distinct_values)
+            if col.value_counts is not None:
+                counts_desc = sorted(
+                    (int(col.value_counts.get(v, 0)) for v in col.distinct_values),
+                    reverse=True,
+                )
+                k: int | None = choose_k(counts_desc)
+                chosen = "enhanced"
+            else:
+                k = None
+                chosen = "basic"
+            factor = storage_overhead_factor(d, len(measures), k)
+            if budget_left is not None and factor > budget_left:
+                warnings.append(
+                    f"column {col.name!r}: SPLASHE overhead {factor:.1f}x "
+                    f"exceeds remaining budget {budget_left:.1f}x -- using DET"
+                )
+                plans[col.name] = self._det_plan(col)
+                decisions.append(
+                    SplasheDecision(col.name, d, len(measures), "det-fallback",
+                                    k, factor)
+                )
+                continue
+            if budget_left is not None:
+                budget_left = max(budget_left - (factor - 1.0), 1.0)
+            plans[col.name] = self._build_splashe_plan(col, measures, k)
+            decisions.append(
+                SplasheDecision(col.name, d, len(measures), chosen, k, factor)
+            )
+
+    def _build_splashe_plan(
+        self, col: sc.ColumnSpec, measures: list[str], k: int | None
+    ) -> sc.ColumnPlan:
+        assert col.distinct_values is not None
+        values = list(col.distinct_values)
+        d = len(values)
+        if k is None or k >= d:
+            return sc.SplasheBasicPlan(
+                column=col.name,
+                values=values,
+                indicator_columns=[
+                    sc.splashe_indicator_col(col.name, c) for c in range(d)
+                ],
+                measure_columns={
+                    m: [sc.splashe_measure_col(m, col.name, c) for c in range(d)]
+                    for m in measures
+                },
+            )
+        assert col.value_counts is not None
+        # Frequent values: the k most common by expected frequency.
+        by_freq = sorted(
+            range(d),
+            key=lambda c: (-int(col.value_counts.get(values[c], 0)), c),
+        )
+        frequent = sorted(by_freq[:k])
+        return sc.SplasheEnhancedPlan(
+            column=col.name,
+            values=values,
+            frequent_codes=frequent,
+            det_column=sc.det_col(col.name),
+            indicator_columns={
+                c: sc.splashe_indicator_col(col.name, c) for c in frequent
+            },
+            others_indicator=sc.splashe_indicator_col(col.name, "oth"),
+            measure_columns={
+                m: {c: sc.splashe_measure_col(m, col.name, c) for c in frequent}
+                for m in measures
+            },
+            others_measure={
+                m: sc.splashe_measure_col(m, col.name, "oth") for m in measures
+            },
+        )
+
+    # -- helpers --------------------------------------------------------------
+
+    @staticmethod
+    def _measures_by_dimension(queries: list[Query]) -> dict[str, set[str]]:
+        """For each dimension, the measures aggregated together with it."""
+        out: dict[str, set[str]] = {}
+        for q in queries:
+            measures = q.measure_columns()
+            for dim in q.dimension_columns():
+                out.setdefault(dim, set()).update(measures)
+        return out

@@ -1,0 +1,849 @@
+"""The untrusted Seabed server (paper Section 4.5).
+
+Executes rewritten queries over encrypted tables on the simulated cluster.
+Everything here operates on public material only: ciphertext columns,
+DET/ORE comparison tokens, and row identifiers.  No key ever reaches this
+module.
+
+Supported physical operations:
+
+- filter evaluation over plaintext, DET-token and ORE-token predicates;
+- ASHE aggregation: wrapping uint64 sums plus ID-list construction, with
+  the ID list encoded (compressed) at the workers by default or at the
+  driver for the ablation (Section 4.5, "Reducing server-to-client
+  traffic");
+- plain and Paillier aggregation for the NoEnc / CryptDB-style baselines;
+- ORE min/max via a vectorised pairwise tournament and median via
+  quickselect, using only the public Compare;
+- group-by with per-group ASHE sums (VB+Diff codec, no ranges -- Section
+  4.5) and the optional *group inflation* optimisation that appends a
+  pseudo-random suffix to group keys so small result sets still use all
+  reducers;
+- broadcast hash joins on DET columns, with multiset ID collection for
+  build-side ASHE aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.crypto import ore as ore_mod
+from repro.crypto.prf import MASK64
+from repro.engine.cluster import SimulatedCluster
+from repro.engine.metrics import JobMetrics
+from repro.engine.table import Partition, Table
+from repro.errors import ExecutionError
+from repro.idlist import IdList, get_codec
+from repro.idlist.codec import decode as codec_decode
+from repro.idlist.codec import encode_groups_vb_diff, encode_multiset
+
+_U64 = np.uint64
+
+JOIN_IDS_COLUMN = "__join_ids"
+
+
+# ---------------------------------------------------------------------------
+# Filter expressions (token-based; no key material)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PlainCmp:
+    column: str
+    op: str
+    value: Any
+
+
+@dataclass(frozen=True)
+class DetEq:
+    column: str
+    token: int
+    negate: bool = False
+
+
+@dataclass(frozen=True)
+class DetIn:
+    column: str
+    tokens: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class OreCmp:
+    column: str
+    op: str
+    token: tuple[int, ...]
+    nbits: int = 32
+
+
+@dataclass(frozen=True)
+class FilterAnd:
+    children: tuple["FilterExpr", ...]
+
+
+@dataclass(frozen=True)
+class FilterOr:
+    children: tuple["FilterExpr", ...]
+
+
+@dataclass(frozen=True)
+class FilterNot:
+    child: "FilterExpr"
+
+
+FilterExpr = PlainCmp | DetEq | DetIn | OreCmp | FilterAnd | FilterOr | FilterNot
+
+_PLAIN_OPS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def eval_filter(columns: dict[str, np.ndarray], expr: FilterExpr | None,
+                nrows: int) -> np.ndarray | None:
+    """Boolean mask (or None for select-all)."""
+    if expr is None:
+        return None
+    if isinstance(expr, PlainCmp):
+        return np.asarray(_PLAIN_OPS[expr.op](columns[expr.column], expr.value),
+                          dtype=bool)
+    if isinstance(expr, DetEq):
+        mask = columns[expr.column] == _U64(expr.token)
+        return ~mask if expr.negate else mask
+    if isinstance(expr, DetIn):
+        col = columns[expr.column]
+        mask = np.zeros(nrows, dtype=bool)
+        for token in expr.tokens:
+            mask |= col == _U64(token)
+        return mask
+    if isinstance(expr, OreCmp):
+        cipher = columns[expr.column]
+        cmp = ore_mod.compare_packed_arrays(
+            cipher, np.broadcast_to(np.asarray(expr.token, dtype=_U64), cipher.shape)
+        )
+        return {
+            "<": cmp < 0, "<=": cmp <= 0, ">": cmp > 0, ">=": cmp >= 0,
+            "=": cmp == 0, "!=": cmp != 0,
+        }[expr.op]
+    if isinstance(expr, FilterAnd):
+        mask = np.ones(nrows, dtype=bool)
+        for child in expr.children:
+            sub = eval_filter(columns, child, nrows)
+            if sub is not None:
+                mask &= sub
+        return mask
+    if isinstance(expr, FilterOr):
+        mask = np.zeros(nrows, dtype=bool)
+        for child in expr.children:
+            sub = eval_filter(columns, child, nrows)
+            mask |= np.ones(nrows, dtype=bool) if sub is None else sub
+        return mask
+    if isinstance(expr, FilterNot):
+        sub = eval_filter(columns, expr.child, nrows)
+        return np.zeros(nrows, dtype=bool) if sub is None else ~sub
+    raise ExecutionError(f"unknown filter node {type(expr).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Aggregation operators
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AsheSum:
+    """Wrapping uint64 sum + encoded ID list."""
+
+    column: str
+    alias: str
+    codec: str = "seabed"
+    multiset: bool = False  # True when the column is join-replicated
+
+
+@dataclass(frozen=True)
+class PlainAgg:
+    """NoEnc aggregation; func in sum|count|min|max|sumsq."""
+
+    column: str | None
+    func: str
+    alias: str
+
+
+@dataclass(frozen=True)
+class PaillierSum:
+    """Big-int ciphertext product mod n^2 (public key material only)."""
+
+    column: str
+    alias: str
+    n_squared: int
+
+
+@dataclass(frozen=True)
+class OreExtreme:
+    """min/max via the public ORE Compare; returns the winning row's
+    payload ciphertext and row ID so the client can decrypt one value."""
+
+    kind: str  # "min" | "max"
+    ore_column: str
+    payload_column: str
+    alias: str
+
+
+@dataclass(frozen=True)
+class OreMedian:
+    """Median row via quickselect on ORE ciphertexts (gathered at driver)."""
+
+    ore_column: str
+    payload_column: str
+    alias: str
+
+
+AggOp = AsheSum | PlainAgg | PaillierSum | OreExtreme | OreMedian
+
+
+@dataclass(frozen=True)
+class ServerJoin:
+    """Broadcast hash join: probe the query table against a build table."""
+
+    build_table: str
+    probe_key_column: str  # physical column on the query table
+    build_key_column: str  # physical column on the build table
+    payload_columns: tuple[str, ...]  # build-side physical columns to attach
+
+
+@dataclass(frozen=True)
+class ServerQuery:
+    table: str
+    aggs: tuple[AggOp, ...]
+    filter: FilterExpr | None = None
+    join: ServerJoin | None = None
+    group_by: str | None = None
+    group_codec: str = "groupby"
+    inflation: int = 1
+    compress_at: str = "worker"  # "worker" | "driver" (ablation)
+
+
+@dataclass
+class ServerResponse:
+    """What travels back to the proxy."""
+
+    kind: str  # "flat" | "grouped"
+    flat: dict[str, Any] = field(default_factory=dict)
+    groups: list[tuple[int, int, dict[str, Any]]] = field(default_factory=list)
+    metrics: JobMetrics = field(default_factory=JobMetrics)
+    payload_bytes: int = 0
+
+
+# -- payload helpers ----------------------------------------------------------
+
+
+def _payload_nbytes(payload: Any) -> int:
+    tag = payload[0]
+    if tag == "ashe":
+        return 8 + sum(len(c) for c in payload[2])
+    if tag == "plain":
+        return 8
+    if tag == "paillier":
+        return (int(payload[1]).bit_length() + 7) // 8
+    if tag == "extreme":
+        return 8 + 8 + 8 * len(payload[3])
+    return 8
+
+
+class SeabedServer:
+    """Holds registered encrypted tables and executes server queries."""
+
+    def __init__(self, cluster: SimulatedCluster):
+        self.cluster = cluster
+        self._tables: dict[str, Table] = {}
+
+    def register(self, table: Table) -> None:
+        self._tables[table.name] = table
+
+    def append(self, table: Table) -> None:
+        """Append a new upload batch to an existing table."""
+        existing = self._tables.get(table.name)
+        if existing is None:
+            self.register(table)
+            return
+        self._tables[table.name] = Table(
+            table.name, existing.partitions + table.partitions
+        )
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise ExecutionError(f"no table {name!r} registered on the server") from None
+
+    def storage_bytes(self, name: str) -> int:
+        return self.table(name).memory_bytes()
+
+    # -- execution -------------------------------------------------------------
+
+    def execute(self, q: ServerQuery) -> ServerResponse:
+        table = self.table(q.table)
+        metrics = self.cluster.new_job()
+        build = self._prepare_join(q, metrics)
+        if q.group_by is None:
+            response = self._execute_flat(q, table, build, metrics)
+        else:
+            response = self._execute_grouped(q, table, build, metrics)
+        response.metrics = metrics
+        self.cluster.account_result_transfer(metrics, response.payload_bytes)
+        return response
+
+    def scan(
+        self,
+        table_name: str,
+        columns: Sequence[str],
+        filt: FilterExpr | None = None,
+    ) -> ServerResponse:
+        """Filtered projection: return encrypted rows plus their IDs.
+
+        Used by scan-style queries (Big Data Benchmark query 1); the proxy
+        decrypts the returned ciphertext columns row-by-row.
+        """
+        table = self.table(table_name)
+        metrics = self.cluster.new_job()
+
+        def map_task(part: Partition):
+            mask = eval_filter(part.columns, filt, part.nrows)
+            ids = np.arange(part.nrows, dtype=_U64) + _U64(part.start_id)
+            if mask is None:
+                return {c: part.column(c) for c in columns}, ids
+            return {c: part.column(c)[mask] for c in columns}, ids[mask]
+
+        tasks = [lambda p=p: map_task(p) for p in table.partitions]
+        parts, _ = self.cluster.run_stage("scan", tasks, metrics)
+
+        def merge():
+            cols = {
+                c: np.concatenate([p[0][c] for p in parts]) for c in columns
+            }
+            ids = np.concatenate([p[1] for p in parts])
+            return cols, ids
+
+        cols, ids = self.cluster.run_driver("scan-merge", merge, metrics)
+        payload_bytes = int(ids.nbytes) + sum(
+            a.nbytes if a.dtype != object else 256 * len(a) for a in cols.values()
+        )
+        response = ServerResponse(kind="scan", payload_bytes=payload_bytes)
+        response.flat = {"columns": cols, "ids": ids}
+        response.metrics = metrics
+        self.cluster.account_result_transfer(metrics, payload_bytes)
+        return response
+
+    # -- join build ------------------------------------------------------------
+
+    def _prepare_join(
+        self, q: ServerQuery, metrics: JobMetrics
+    ) -> dict[str, Any] | None:
+        if q.join is None:
+            return None
+        join = q.join
+        build_table = self.table(join.build_table)
+
+        def build_index() -> dict[str, Any]:
+            keys = build_table.column(join.build_key_column)
+            payloads = {c: build_table.column(c) for c in join.payload_columns}
+            ids = np.concatenate(
+                [
+                    np.arange(p.nrows, dtype=_U64) + _U64(p.start_id)
+                    for p in build_table.partitions
+                ]
+            )
+            index: dict[int, list[int]] = {}
+            for pos, key in enumerate(keys.tolist()):
+                index.setdefault(key, []).append(pos)
+            return {"index": index, "payloads": payloads, "ids": ids}
+
+        build = self.cluster.run_driver("join-build", build_index, metrics)
+        # Broadcasting the build side to every worker costs shuffle volume.
+        build_bytes = 16 * len(build["index"]) + sum(
+            a.nbytes if a.dtype != object else 256 * len(a)
+            for a in build["payloads"].values()
+        )
+        self.cluster.account_shuffle(metrics, build_bytes)
+        return build
+
+    @staticmethod
+    def _probe_join(
+        part: Partition, q: ServerQuery, build: dict[str, Any]
+    ) -> tuple[dict[str, np.ndarray], np.ndarray] | None:
+        """Returns (joined columns, probe-row selector) or None if empty."""
+        join = q.join
+        assert join is not None
+        probe_keys = part.column(join.probe_key_column)
+        index = build["index"]
+        probe_rows: list[int] = []
+        build_rows: list[int] = []
+        for pos, key in enumerate(probe_keys.tolist()):
+            for b in index.get(key, ()):
+                probe_rows.append(pos)
+                build_rows.append(b)
+        if not probe_rows:
+            return None
+        probe_idx = np.asarray(probe_rows, dtype=np.int64)
+        build_idx = np.asarray(build_rows, dtype=np.int64)
+        columns = {name: arr[probe_idx] for name, arr in part.columns.items()}
+        for name, arr in build["payloads"].items():
+            columns[name] = arr[build_idx]
+        columns[JOIN_IDS_COLUMN] = build["ids"][build_idx]
+        return columns, probe_idx
+
+    def _partition_view(
+        self, part: Partition, q: ServerQuery, build: dict[str, Any] | None
+    ) -> tuple[dict[str, np.ndarray], np.ndarray] | None:
+        """Columns + global row IDs after the optional join."""
+        if build is None:
+            ids = np.arange(part.nrows, dtype=_U64) + _U64(part.start_id)
+            return dict(part.columns), ids
+        joined = self._probe_join(part, q, build)
+        if joined is None:
+            return None
+        columns, probe_idx = joined
+        ids = probe_idx.astype(_U64) + _U64(part.start_id)
+        return columns, ids
+
+    # -- flat aggregation -------------------------------------------------------
+
+    def _execute_flat(
+        self,
+        q: ServerQuery,
+        table: Table,
+        build: dict[str, Any] | None,
+        metrics: JobMetrics,
+    ) -> ServerResponse:
+        def map_task(part: Partition) -> dict[str, Any] | None:
+            view = self._partition_view(part, q, build)
+            if view is None:
+                return None
+            columns, row_ids = view
+            nrows = len(row_ids)
+            mask = eval_filter(columns, q.filter, nrows)
+            partials: dict[str, Any] = {}
+            for agg in q.aggs:
+                partials[agg.alias] = _flat_partial(agg, columns, mask, row_ids, q)
+            return partials
+
+        tasks = [lambda p=p: map_task(p) for p in table.partitions]
+        partials, _ = self.cluster.run_stage("aggregate", tasks, metrics)
+        partials = [p for p in partials if p is not None]
+
+        def merge() -> dict[str, Any]:
+            out: dict[str, Any] = {}
+            for agg in q.aggs:
+                pieces = [p[agg.alias] for p in partials if p[agg.alias] is not None]
+                out[agg.alias] = merge_payloads(agg, pieces)
+            return out
+
+        flat = self.cluster.run_driver("merge", merge, metrics)
+        payload_bytes = sum(
+            _payload_nbytes(v) for v in flat.values() if v is not None
+        )
+        return ServerResponse(kind="flat", flat=flat, payload_bytes=payload_bytes)
+
+    # -- grouped aggregation ------------------------------------------------------
+
+    def _execute_grouped(
+        self,
+        q: ServerQuery,
+        table: Table,
+        build: dict[str, Any] | None,
+        metrics: JobMetrics,
+    ) -> ServerResponse:
+        inflation = max(1, q.inflation)
+
+        def map_task(part: Partition) -> dict[tuple[int, int], dict[str, Any]]:
+            view = self._partition_view(part, q, build)
+            if view is None:
+                return {}
+            columns, row_ids = view
+            nrows = len(row_ids)
+            mask = eval_filter(columns, q.filter, nrows)
+            sel = np.arange(nrows) if mask is None else np.flatnonzero(mask)
+            if sel.size == 0:
+                return {}
+            keys = columns[q.group_by][sel]
+            keys = keys.astype(_U64, copy=False)
+            ids = row_ids[sel]
+            # Group-by optimisation (Section 4.5): append a pseudo-random
+            # suffix to multiply the number of reduce keys.
+            suffix = (ids % _U64(inflation)).astype(np.int64) if inflation > 1 else None
+            if suffix is None:
+                order = np.argsort(keys, kind="stable")
+                sorted_suffix = np.zeros(sel.size, dtype=np.int64)
+            else:
+                order = np.lexsort((suffix, keys))
+                sorted_suffix = suffix[order]
+            sorted_keys = keys[order]
+            sorted_ids = ids[order]
+            sorted_sel = sel[order]
+            if sorted_keys.size == 0:
+                return {}
+            new_group = np.empty(sorted_keys.size, dtype=bool)
+            new_group[0] = True
+            new_group[1:] = (sorted_keys[1:] != sorted_keys[:-1]) | (
+                sorted_suffix[1:] != sorted_suffix[:-1]
+            )
+            starts = np.flatnonzero(new_group)
+            out: dict[tuple[int, int], dict[str, Any]] = {}
+            bounds = np.append(starts, sorted_keys.size)
+            group_partials: dict[str, list[Any]] = {
+                agg.alias: _group_partials(
+                    agg, columns, sorted_sel, sorted_ids, starts, bounds, q
+                )
+                for agg in q.aggs
+            }
+            for g, start in enumerate(starts.tolist()):
+                key = int(sorted_keys[start])
+                sfx = int(sorted_suffix[start])
+                out[(key, sfx)] = {
+                    agg.alias: group_partials[agg.alias][g] for agg in q.aggs
+                }
+            return out
+
+        tasks = [lambda p=p: map_task(p) for p in table.partitions]
+        map_out, _ = self.cluster.run_stage("group-map", tasks, metrics)
+
+        # Shuffle: every (key, suffix) partial crosses the network once.
+        shuffle_bytes = 0
+        for partial_map in map_out:
+            for per_agg in partial_map.values():
+                shuffle_bytes += 9 + sum(
+                    _payload_nbytes(v) for v in per_agg.values() if v is not None
+                )
+        total_keys = len({k for partial_map in map_out for k in partial_map})
+        num_reducers = max(1, min(self.cluster.config.cores, total_keys))
+        # Few distinct keys mean few active receivers: the bandwidth
+        # bottleneck group inflation exists to fix (Section 4.5).
+        self.cluster.account_shuffle_parallel(metrics, shuffle_bytes, num_reducers)
+
+        def shard() -> list[dict[tuple[int, int], list[dict[str, Any]]]]:
+            # The shuffle partitioner: each (key, suffix) entry is routed
+            # to its reducer exactly once -- O(total entries).
+            shards: list[dict[tuple[int, int], list[dict[str, Any]]]] = [
+                {} for _ in range(num_reducers)
+            ]
+            for partial_map in map_out:
+                for key, entry in partial_map.items():
+                    shards[hash(key) % num_reducers].setdefault(key, []).append(entry)
+            return shards
+
+        shards = self.cluster.run_driver("shuffle-partition", shard, metrics)
+
+        def reduce_task(ridx: int) -> list[tuple[int, int, dict[str, Any]]]:
+            merged: list[tuple[int, int, dict[str, Any]]] = []
+            for key, entries in shards[ridx].items():
+                per_agg = {}
+                for agg in q.aggs:
+                    pieces = [
+                        e[agg.alias] for e in entries if e[agg.alias] is not None
+                    ]
+                    per_agg[agg.alias] = merge_payloads(agg, pieces)
+                merged.append((key[0], key[1], per_agg))
+            return merged
+
+        reduce_tasks = [lambda r=r: reduce_task(r) for r in range(num_reducers)]
+        reduced, _ = self.cluster.run_stage("group-reduce", reduce_tasks, metrics)
+        groups = [entry for shard in reduced for entry in shard]
+        payload_bytes = sum(
+            9 + sum(_payload_nbytes(v) for v in per_agg.values() if v is not None)
+            for _, _, per_agg in groups
+        )
+        return ServerResponse(kind="grouped", groups=groups, payload_bytes=payload_bytes)
+
+
+# ---------------------------------------------------------------------------
+# Per-operator partials and merges
+# ---------------------------------------------------------------------------
+
+
+def _flat_partial(
+    agg: AggOp,
+    columns: dict[str, np.ndarray],
+    mask: np.ndarray | None,
+    row_ids: np.ndarray,
+    q: ServerQuery,
+) -> Any:
+    if isinstance(agg, AsheSum):
+        cipher = columns[agg.column]
+        if mask is None:
+            selected = cipher
+            sel_ids = row_ids if agg.multiset else None
+        else:
+            selected = cipher[mask]
+            sel_ids = row_ids[mask] if agg.multiset else None
+        total = int(np.add.reduce(selected)) & MASK64 if selected.size else 0
+        if agg.multiset:
+            ids_source = columns[JOIN_IDS_COLUMN]
+            arr = ids_source if mask is None else ids_source[mask]
+            if arr.size == 0:
+                return None
+            return ("ashe", total, [encode_multiset(arr)], True)
+        ids = _ids_from_mask(row_ids, mask)
+        if ids.is_empty():
+            return None
+        if q.compress_at == "driver":
+            return ("ashe_raw", total, ids)
+        return ("ashe", total, [get_codec(agg.codec).encode(ids)], False)
+    if isinstance(agg, PlainAgg):
+        return _plain_partial(agg, columns, mask)
+    if isinstance(agg, PaillierSum):
+        cipher = columns[agg.column]
+        selected = cipher if mask is None else cipher[mask]
+        if len(selected) == 0:
+            return None
+        total = 1
+        n2 = agg.n_squared
+        for c in selected.tolist():
+            total = (total * c) % n2
+        return ("paillier", total)
+    if isinstance(agg, OreExtreme):
+        sel = (
+            np.arange(len(row_ids)) if mask is None else np.flatnonzero(mask)
+        )
+        if sel.size == 0:
+            return None
+        cipher = columns[agg.ore_column][sel]
+        winner = _ore_tournament(cipher, agg.kind)
+        row = int(sel[winner])
+        payload = columns[agg.payload_column][row]
+        return (
+            "extreme",
+            _coerce_payload(payload),
+            int(row_ids[row]),
+            tuple(int(w) for w in cipher[winner]),
+        )
+    if isinstance(agg, OreMedian):
+        sel = (
+            np.arange(len(row_ids)) if mask is None else np.flatnonzero(mask)
+        )
+        if sel.size == 0:
+            return None
+        return (
+            "median_gather",
+            columns[agg.ore_column][sel],
+            columns[agg.payload_column][sel],
+            row_ids[sel],
+        )
+    raise ExecutionError(f"unknown aggregation op {type(agg).__name__}")
+
+
+def _coerce_payload(payload: Any) -> Any:
+    if isinstance(payload, np.generic):
+        return payload.item()
+    return payload
+
+
+def _plain_partial(
+    agg: PlainAgg, columns: dict[str, np.ndarray], mask: np.ndarray | None
+) -> Any:
+    if agg.func == "count":
+        if mask is None:
+            nrows = len(next(iter(columns.values())))
+            return ("plain", nrows)
+        return ("plain", int(mask.sum()))
+    values = columns[agg.column]
+    selected = values if mask is None else values[mask]
+    if len(selected) == 0:
+        return None
+    if agg.func == "sum":
+        return ("plain", int(selected.sum()))
+    if agg.func == "sumsq":
+        sel64 = selected.astype(np.int64)
+        return ("plain", int((sel64 * sel64).sum()))
+    if agg.func == "min":
+        return ("plain", _coerce_payload(selected.min()))
+    if agg.func == "max":
+        return ("plain", _coerce_payload(selected.max()))
+    if agg.func == "median":
+        return ("median_gather_plain", selected)
+    raise ExecutionError(f"unknown plain aggregation {agg.func!r}")
+
+
+def _ids_from_mask(row_ids: np.ndarray, mask: np.ndarray | None) -> IdList:
+    """Row IDs are globally contiguous per partition unless a join
+    reshuffled them; handle both."""
+    selected = row_ids if mask is None else row_ids[mask]
+    if selected.size == 0:
+        return IdList.empty()
+    if selected.size > 1 and bool(np.any(selected[1:] <= selected[:-1])):
+        selected = np.unique(selected)
+    return IdList.from_ids(selected)
+
+
+def _ore_tournament(cipher: np.ndarray, kind: str) -> int:
+    """Index of the min/max row using O(log n) vectorised compare passes."""
+    indices = np.arange(cipher.shape[0], dtype=np.int64)
+    current = cipher
+    while indices.size > 1:
+        half = indices.size // 2
+        a = current[:half]
+        b = current[half : 2 * half]
+        cmp = ore_mod.compare_packed_arrays(a, b)
+        pick_b = cmp < 0 if kind == "max" else cmp > 0
+        winner_idx = np.where(pick_b, indices[half : 2 * half], indices[:half])
+        winner_ct = np.where(pick_b[:, None], b, a)
+        if indices.size % 2:
+            winner_idx = np.append(winner_idx, indices[-1])
+            winner_ct = np.vstack([winner_ct, current[-1:]])
+        indices = winner_idx
+        current = winner_ct
+    return int(indices[0])
+
+
+def _ore_quickselect(
+    cipher: np.ndarray, payloads: np.ndarray, row_ids: np.ndarray, k: int
+) -> tuple[Any, int]:
+    """k-th smallest (0-based) by ORE order; returns (payload, row_id)."""
+    while True:
+        n = cipher.shape[0]
+        if n == 1:
+            return _coerce_payload(payloads[0]), int(row_ids[0])
+        pivot = cipher[n // 2]
+        cmp = ore_mod.compare_packed_arrays(
+            cipher, np.broadcast_to(pivot, cipher.shape)
+        )
+        less = cmp < 0
+        equal = cmp == 0
+        n_less = int(less.sum())
+        n_equal = int(equal.sum())
+        if k < n_less:
+            keep = less
+        elif k < n_less + n_equal:
+            # The k-th element ties with the pivot; all candidates in the
+            # equal partition are interchangeable (identical plaintexts).
+            first = int(np.flatnonzero(equal)[0])
+            return _coerce_payload(payloads[first]), int(row_ids[first])
+        else:
+            keep = cmp > 0
+            k -= n_less + n_equal
+        cipher = cipher[keep]
+        payloads = payloads[keep]
+        row_ids = row_ids[keep]
+
+
+def merge_payloads(agg: AggOp, pieces: list[Any]) -> Any:
+    """Merge partial payloads of one aggregate (driver- and client-side)."""
+    if not pieces:
+        return None
+    if isinstance(agg, AsheSum):
+        if pieces and pieces[0][0] == "ashe_raw":
+            # Driver-side compression ablation: union + encode here.
+            total = 0
+            ids = IdList.union_all([p[2] for p in pieces])
+            for p in pieces:
+                total = (total + p[1]) & MASK64
+            return ("ashe", total, [get_codec(agg.codec).encode(ids)], False)
+        total = 0
+        chunks: list[bytes] = []
+        multiset = False
+        for p in pieces:
+            total = (total + p[1]) & MASK64
+            chunks.extend(p[2])
+            multiset = multiset or p[3]
+        return ("ashe", total, chunks, multiset)
+    if isinstance(agg, PlainAgg):
+        if pieces[0][0] == "median_gather_plain":
+            values = np.concatenate([p[1] for p in pieces])
+            return ("plain", float(np.median(values)))
+        values = [p[1] for p in pieces]
+        if agg.func in ("sum", "sumsq", "count"):
+            return ("plain", sum(values))
+        if agg.func == "min":
+            return ("plain", min(values))
+        if agg.func == "max":
+            return ("plain", max(values))
+        raise ExecutionError(f"cannot merge plain aggregation {agg.func!r}")
+    if isinstance(agg, PaillierSum):
+        total = 1
+        for p in pieces:
+            total = (total * p[1]) % agg.n_squared
+        return ("paillier", total)
+    if isinstance(agg, OreExtreme):
+        best = pieces[0]
+        for p in pieces[1:]:
+            cmp = ore_mod.OreScheme.compare_words(p[3], best[3])
+            if (agg.kind == "max" and cmp > 0) or (agg.kind == "min" and cmp < 0):
+                best = p
+        return ("extreme", best[1], best[2], best[3])
+    if isinstance(agg, OreMedian):
+        cipher = np.vstack([p[1] for p in pieces])
+        payloads = np.concatenate([p[2] for p in pieces])
+        row_ids = np.concatenate([p[3] for p in pieces])
+        k = (cipher.shape[0] - 1) // 2
+        payload, row = _ore_quickselect(cipher, payloads, row_ids, k)
+        return ("extreme", _coerce_payload(payload), row, ())
+    raise ExecutionError(f"unknown aggregation op {type(agg).__name__}")
+
+
+def _group_partials(
+    agg: AggOp,
+    columns: dict[str, np.ndarray],
+    sorted_sel: np.ndarray,
+    sorted_ids: np.ndarray,
+    starts: np.ndarray,
+    bounds: np.ndarray,
+    q: ServerQuery,
+) -> list[Any]:
+    """Per-group partials, vectorised where the operator allows."""
+    ngroups = len(starts)
+    if isinstance(agg, AsheSum):
+        cipher = columns[agg.column][sorted_sel]
+        sums = np.add.reduceat(cipher, starts) if cipher.size else np.empty(0, _U64)
+        out: list[Any] = []
+        if agg.multiset:
+            join_ids = columns[JOIN_IDS_COLUMN][sorted_sel]
+            for g in range(ngroups):
+                lo, hi = int(bounds[g]), int(bounds[g + 1])
+                out.append(
+                    ("ashe", int(sums[g]) & MASK64,
+                     [encode_multiset(join_ids[lo:hi])], True)
+                )
+            return out
+        # Vectorised VB+Diff for every group at once (Section 4.5's
+        # group-by codec), sliced per group from one shared stream.
+        chunks = encode_groups_vb_diff(sorted_ids, starts, bounds)
+        sums_list = (sums & _U64(MASK64)).tolist()
+        return [
+            ("ashe", sums_list[g], [chunks[g]], False) for g in range(ngroups)
+        ]
+    if isinstance(agg, PlainAgg):
+        if agg.func == "count":
+            return [("plain", int(bounds[g + 1] - bounds[g])) for g in range(ngroups)]
+        values = columns[agg.column][sorted_sel]
+        if agg.func == "sum":
+            sums = np.add.reduceat(values, starts)
+            return [("plain", int(sums[g])) for g in range(ngroups)]
+        if agg.func == "sumsq":
+            v64 = values.astype(np.int64)
+            sums = np.add.reduceat(v64 * v64, starts)
+            return [("plain", int(sums[g])) for g in range(ngroups)]
+        if agg.func == "min":
+            mins = np.minimum.reduceat(values, starts)
+            return [("plain", _coerce_payload(mins[g])) for g in range(ngroups)]
+        if agg.func == "max":
+            maxs = np.maximum.reduceat(values, starts)
+            return [("plain", _coerce_payload(maxs[g])) for g in range(ngroups)]
+        raise ExecutionError(f"plain {agg.func!r} is not groupable")
+    if isinstance(agg, PaillierSum):
+        cipher = columns[agg.column][sorted_sel]
+        out = []
+        n2 = agg.n_squared
+        for g in range(ngroups):
+            lo, hi = int(bounds[g]), int(bounds[g + 1])
+            total = 1
+            for c in cipher[lo:hi].tolist():
+                total = (total * c) % n2
+            out.append(("paillier", total))
+        return out
+    raise ExecutionError(
+        f"{type(agg).__name__} is not supported inside GROUP BY"
+    )

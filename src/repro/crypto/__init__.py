@@ -1,0 +1,40 @@
+"""Cryptographic substrate for Seabed.
+
+Modules:
+
+- :mod:`repro.crypto.prf` -- keyed pseudo-random functions (BLAKE2b,
+  vectorised SplitMix64 family, AES-CTR).
+- :mod:`repro.crypto.aes` -- from-scratch FIPS-197 AES-128 with CTR mode.
+- :mod:`repro.crypto.ashe` -- the paper's additively symmetric homomorphic
+  encryption scheme (Section 3.1).
+- :mod:`repro.crypto.det` -- deterministic, invertible encryption (a
+  Luby-Rackoff Feistel PRP) plus dictionary encoding for strings.
+- :mod:`repro.crypto.ore` -- Chenette et al. order-revealing encryption
+  (Appendix A.3).
+- :mod:`repro.crypto.paillier` -- the Paillier baseline used by
+  CryptDB/Monomi-style systems.
+- :mod:`repro.crypto.keys` -- master-key / per-column subkey derivation.
+"""
+
+from repro.crypto.ashe import AsheCiphertext, AsheScheme
+from repro.crypto.det import DetScheme, DictionaryEncoder
+from repro.crypto.keys import KeyChain
+from repro.crypto.ore import OreScheme
+from repro.crypto.paillier import PaillierKeyPair, PaillierScheme
+from repro.crypto.prf import AesCtrPrf, Blake2Prf, Prf, SplitMix64Prf, prf_from_name
+
+__all__ = [
+    "AesCtrPrf",
+    "AsheCiphertext",
+    "AsheScheme",
+    "Blake2Prf",
+    "DetScheme",
+    "DictionaryEncoder",
+    "KeyChain",
+    "OreScheme",
+    "PaillierKeyPair",
+    "PaillierScheme",
+    "Prf",
+    "SplitMix64Prf",
+    "prf_from_name",
+]

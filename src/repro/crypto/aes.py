@@ -1,0 +1,154 @@
+"""From-scratch AES-128 (FIPS-197) with a CTR-mode keystream.
+
+The Seabed prototype computes its PRF with hardware-accelerated AES
+(Intel AES-NI), reported at 47 ns per counter-mode operation in Table 1.
+Python has no standard-library AES, and this reproduction installs no
+third-party crypto, so we implement the cipher from the specification:
+S-box built from the GF(2^8) multiplicative inverse plus the affine map,
+column-major state, and the standard 10-round schedule.
+
+This implementation favours clarity over speed; it exists to
+
+1. reproduce the Table 1 microbenchmark row ("AES counter mode") with a
+   real AES, and
+2. back the :class:`repro.crypto.prf.AesCtrPrf` fidelity PRF.
+
+Bulk encryption paths use the vectorised PRF instead (see
+``repro.crypto.prf``).
+"""
+
+from __future__ import annotations
+
+from repro.errors import CryptoError
+
+
+def _build_tables() -> tuple[list[int], list[int], list[int]]:
+    """Build the S-box, inverse S-box, and the xtime (mul-by-2) table."""
+    # Exp/log tables over GF(2^8) using generator 3 (x+1).
+    exp = [0] * 256
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        # multiply x by 3 = x ^ xtime(x)
+        xt = (x << 1) ^ (0x11B if x & 0x80 else 0)
+        x ^= xt & 0xFF
+    exp[255] = exp[0]
+
+    def gf_inverse(a: int) -> int:
+        return 0 if a == 0 else exp[255 - log[a]]
+
+    def rotl8(b: int, n: int) -> int:
+        return ((b << n) | (b >> (8 - n))) & 0xFF
+
+    sbox = [0] * 256
+    inv_sbox = [0] * 256
+    for a in range(256):
+        b = gf_inverse(a)
+        s = b ^ rotl8(b, 1) ^ rotl8(b, 2) ^ rotl8(b, 3) ^ rotl8(b, 4) ^ 0x63
+        sbox[a] = s
+        inv_sbox[s] = a
+
+    xtime = [((a << 1) ^ (0x11B if a & 0x80 else 0)) & 0xFF for a in range(256)]
+    return sbox, inv_sbox, xtime
+
+
+_SBOX, _INV_SBOX, _XTIME = _build_tables()
+_RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36]
+
+
+class Aes128:
+    """AES-128 block cipher: 16-byte key, 16-byte blocks, 10 rounds."""
+
+    def __init__(self, key: bytes):
+        if len(key) != 16:
+            raise CryptoError(f"AES-128 key must be 16 bytes, got {len(key)}")
+        self._round_keys = self._expand_key(key)
+
+    @staticmethod
+    def _expand_key(key: bytes) -> list[list[int]]:
+        """Expand to 11 round keys, each a flat 16-byte list (column-major)."""
+        words = [list(key[4 * i : 4 * i + 4]) for i in range(4)]
+        for i in range(4, 44):
+            temp = list(words[i - 1])
+            if i % 4 == 0:
+                temp = temp[1:] + temp[:1]  # RotWord
+                temp = [_SBOX[b] for b in temp]  # SubWord
+                temp[0] ^= _RCON[i // 4 - 1]
+            words.append([words[i - 4][j] ^ temp[j] for j in range(4)])
+        round_keys = []
+        for r in range(11):
+            rk = []
+            for c in range(4):
+                rk.extend(words[4 * r + c])
+            round_keys.append(rk)
+        return round_keys
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt one 16-byte block; returns 16 ciphertext bytes."""
+        if len(block) != 16:
+            raise CryptoError(f"AES block must be 16 bytes, got {len(block)}")
+        # State is kept in FIPS-197 column-major order: s[r + 4c] holds
+        # row r, column c; the input bytes fill columns first.
+        s = list(block)
+        self._add_round_key(s, 0)
+        for rnd in range(1, 10):
+            self._sub_bytes(s)
+            self._shift_rows(s)
+            self._mix_columns(s)
+            self._add_round_key(s, rnd)
+        self._sub_bytes(s)
+        self._shift_rows(s)
+        self._add_round_key(s, 10)
+        return bytes(s)
+
+    def _add_round_key(self, s: list[int], rnd: int) -> None:
+        rk = self._round_keys[rnd]
+        for i in range(16):
+            s[i] ^= rk[i]
+
+    @staticmethod
+    def _sub_bytes(s: list[int]) -> None:
+        for i in range(16):
+            s[i] = _SBOX[s[i]]
+
+    @staticmethod
+    def _shift_rows(s: list[int]) -> None:
+        # Row r rotates left by r positions. With column-major layout,
+        # row r occupies indices r, r+4, r+8, r+12.
+        s[1], s[5], s[9], s[13] = s[5], s[9], s[13], s[1]
+        s[2], s[6], s[10], s[14] = s[10], s[14], s[2], s[6]
+        s[3], s[7], s[11], s[15] = s[15], s[3], s[7], s[11]
+
+    @staticmethod
+    def _mix_columns(s: list[int]) -> None:
+        for c in range(0, 16, 4):
+            a0, a1, a2, a3 = s[c], s[c + 1], s[c + 2], s[c + 3]
+            all_xor = a0 ^ a1 ^ a2 ^ a3
+            s[c] = a0 ^ all_xor ^ _XTIME[a0 ^ a1]
+            s[c + 1] = a1 ^ all_xor ^ _XTIME[a1 ^ a2]
+            s[c + 2] = a2 ^ all_xor ^ _XTIME[a2 ^ a3]
+            s[c + 3] = a3 ^ all_xor ^ _XTIME[a3 ^ a0]
+
+
+def ctr_keystream(key: bytes, initial_counter: int, nblocks: int) -> bytes:
+    """Generate ``nblocks`` 16-byte keystream blocks in counter mode.
+
+    The counter is a 128-bit big-endian integer incremented per block,
+    matching NIST SP 800-38A.
+    """
+    aes = Aes128(key)
+    out = bytearray()
+    counter = initial_counter & ((1 << 128) - 1)
+    for _ in range(nblocks):
+        out.extend(aes.encrypt_block(counter.to_bytes(16, "big")))
+        counter = (counter + 1) & ((1 << 128) - 1)
+    return bytes(out)
+
+
+def ctr_encrypt(key: bytes, initial_counter: int, data: bytes) -> bytes:
+    """Encrypt (or decrypt: CTR is symmetric) ``data`` under AES-128-CTR."""
+    nblocks = (len(data) + 15) // 16
+    stream = ctr_keystream(key, initial_counter, nblocks)
+    return bytes(d ^ k for d, k in zip(data, stream))

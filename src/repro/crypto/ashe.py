@@ -1,0 +1,235 @@
+"""ASHE: additively symmetric homomorphic encryption (paper Section 3.1).
+
+The scheme, over the additive group ``Z_n`` with ``n = 2^64`` here:
+
+- ``Enc_k(m, i) = ((m - F_k(i) + F_k(i-1)) mod n, {i})``
+- ``(c1, S1) + (c2, S2) = ((c1 + c2) mod n, S1 u S2)``
+- ``Dec_k(c, S) = (c + sum_{i in S} (F_k(i) - F_k(i-1))) mod n``
+
+The pads telescope over consecutive identifiers: decrypting the sum of rows
+``a..b`` needs only ``F_k(b) - F_k(a-1)`` -- two PRF evaluations regardless
+of the range length (Section 3.2).  With the ID list stored as runs (see
+:mod:`repro.idlist`), decryption costs two PRF calls *per run*.
+
+We use ``n = 2^64`` so ciphertext arithmetic is native uint64 wraparound,
+which numpy vectorises; signed plaintexts round-trip through two's
+complement (:func:`to_signed`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.crypto.prf import MASK64, Prf
+from repro.errors import CryptoError, DecryptionError
+from repro.idlist import IdList
+
+_U64 = np.uint64
+_ONE = _U64(1)
+
+#: Number of AES-equivalent PRF evaluations per decryption is tracked so the
+#: benchmarks can report the paper's "average AES operations" statistic.
+
+
+def to_signed(value: int) -> int:
+    """Interpret a ``Z_{2^64}`` group element as a two's-complement int64+."""
+    value &= MASK64
+    return value - (1 << 64) if value >= (1 << 63) else value
+
+
+def from_signed(value: int) -> int:
+    """Map a (possibly negative) Python int into ``Z_{2^64}``."""
+    return value & MASK64
+
+
+@dataclass
+class AsheCiphertext:
+    """An ASHE ciphertext: a group element plus the ID multiset.
+
+    IDs are unique per row, and aggregation touches each row at most once,
+    so the multiset is represented by the set-like :class:`IdList`.
+    """
+
+    value: int
+    ids: IdList
+
+    def __add__(self, other: "AsheCiphertext") -> "AsheCiphertext":
+        if not isinstance(other, AsheCiphertext):
+            return NotImplemented
+        return AsheCiphertext(
+            (self.value + other.value) & MASK64, self.ids.union(other.ids)
+        )
+
+    def __radd__(self, other):
+        # Supports sum(..., start=0) in client code.
+        if other == 0:
+            return self
+        return self.__add__(other)
+
+    @classmethod
+    def zero(cls) -> "AsheCiphertext":
+        """The additive identity (empty ID list)."""
+        return cls(0, IdList.empty())
+
+
+class AsheScheme:
+    """ASHE keyed by a PRF instance; stateless apart from the PRF key.
+
+    The caller supplies identifiers (Seabed's encryption module assigns
+    consecutive row IDs per table so that range telescoping applies).
+    Identifier 0 is allowed; its pad reaches back to ``F_k(2^64 - 1)``.
+    """
+
+    def __init__(self, prf: Prf):
+        self._prf = prf
+        self.prf_evals = 0  # running count, for the paper's AES-op statistic
+
+    # -- scalar interface ------------------------------------------------
+
+    def encrypt(self, m: int, i: int) -> AsheCiphertext:
+        """Encrypt one value under identifier ``i``."""
+        pad = self._prf.eval_one(i) - self._prf.eval_one((i - 1) & MASK64)
+        self.prf_evals += 2
+        return AsheCiphertext((from_signed(m) - pad) & MASK64, IdList.from_range(i, i + 1))
+
+    def decrypt(self, ct: AsheCiphertext) -> int:
+        """Decrypt to a signed integer (sum of the encrypted plaintexts)."""
+        return to_signed((ct.value + self._pad_sum(ct.ids)) & MASK64)
+
+    def add(self, a: AsheCiphertext, b: AsheCiphertext) -> AsheCiphertext:
+        return a + b
+
+    # -- vectorised column interface --------------------------------------
+
+    def encrypt_column(self, values: np.ndarray, start_id: int) -> np.ndarray:
+        """Encrypt a column whose rows get IDs ``start_id .. start_id+n-1``.
+
+        Returns the uint64 ciphertext array; the IDs are implicit (the
+        caller records ``start_id``).  One PRF stream of ``n+1`` values
+        covers all pads because adjacent rows share a boundary evaluation.
+        """
+        v = np.asarray(values)
+        if v.ndim != 1:
+            raise CryptoError("encrypt_column expects a 1-D array")
+        n = v.size
+        if n == 0:
+            return np.empty(0, _U64)
+        plain = v.astype(np.int64, copy=False).view(_U64) if v.dtype != _U64 else v
+        stream = self._prf.eval_range(start_id - 1, n + 1)
+        self.prf_evals += n + 1
+        # c[j] = m[j] - F(start+j) + F(start+j-1)
+        return plain - stream[1:] + stream[:-1]
+
+    def decrypt_column(self, cipher: np.ndarray, start_id: int) -> np.ndarray:
+        """Invert :meth:`encrypt_column`; returns int64 plaintexts."""
+        c = np.asarray(cipher, dtype=_U64)
+        stream = self._prf.eval_range(start_id - 1, c.size + 1)
+        self.prf_evals += c.size + 1
+        return (c + stream[1:] - stream[:-1]).view(np.int64)
+
+    def decrypt_rows(self, cipher: np.ndarray, ids: np.ndarray) -> np.ndarray:
+        """Decrypt scattered single rows (scan results): two PRF
+        evaluations per row, no telescoping."""
+        c = np.asarray(cipher, dtype=_U64)
+        arr = np.asarray(ids, dtype=_U64)
+        pads = self._prf.eval_many(arr) - self._prf.eval_many(arr - _ONE)
+        self.prf_evals += 2 * arr.size
+        return (c + pads).view(np.int64)
+
+    def aggregate(self, cipher: np.ndarray, mask: np.ndarray | None, start_id: int) -> AsheCiphertext:
+        """Server-side SUM over (optionally masked) ciphertext rows.
+
+        This is the hot path a Seabed worker executes per partition: a
+        wrapping uint64 reduction plus ID-list construction.  No key
+        material is involved.
+        """
+        c = np.asarray(cipher, dtype=_U64)
+        if mask is None:
+            total = int(np.add.reduce(c)) & MASK64 if c.size else 0
+            ids = IdList.from_range(start_id, start_id + c.size)
+        else:
+            selected = c[mask]
+            total = int(np.add.reduce(selected)) & MASK64 if selected.size else 0
+            ids = IdList.from_mask(mask, offset=start_id)
+        return AsheCiphertext(total, ids)
+
+    def decrypt_sum(self, value: int, ids: IdList) -> int:
+        """Decrypt an aggregated value given its ID list (signed result)."""
+        return to_signed((value + self._pad_sum(ids)) & MASK64)
+
+    def pad_for(self, ids: IdList) -> int:
+        """The pad correction for an ID list (two PRF evals per run).
+
+        Exposed so the decryption module can accumulate pads across many
+        worker-encoded chunks before a single final reduction.
+        """
+        return self._pad_sum(ids)
+
+    def pad_array(self, ids: np.ndarray) -> np.ndarray:
+        """Per-ID pads ``F(i) - F(i-1)`` as a uint64 array (wrapping).
+
+        The batched group-decryption path segments this array per group
+        with ``np.add.reduceat`` instead of paying per-group call overhead.
+        """
+        arr = np.asarray(ids, dtype=_U64)
+        if arr.size == 0:
+            return np.empty(0, _U64)
+        pads = self._prf.eval_many(arr) - self._prf.eval_many(arr - _ONE)
+        self.prf_evals += 2 * arr.size
+        return pads
+
+    def pad_for_multiset(self, ids: np.ndarray) -> int:
+        """Pad correction for a duplicate-bearing ID array (join results)."""
+        arr = np.asarray(ids, dtype=_U64)
+        if arr.size == 0:
+            return 0
+        pads = self._prf.eval_many(arr) - self._prf.eval_many(arr - _ONE)
+        self.prf_evals += 2 * arr.size
+        return int(np.add.reduce(pads)) & MASK64
+
+    def decrypt_sum_multiset(self, value: int, ids: np.ndarray) -> int:
+        """Decrypt an aggregate whose ID collection contains duplicates.
+
+        Joins replicate build-side rows, so their identifiers form a true
+        multiset (Section 3.1); each occurrence contributes its own pad.
+        Costs two PRF evaluations per occurrence -- no telescoping -- which
+        is why the paper's join-heavy queries see smaller speedups.
+        """
+        arr = np.asarray(ids, dtype=_U64)
+        if arr.size == 0:
+            return to_signed(value)
+        pads = self._prf.eval_many(arr) - self._prf.eval_many(arr - _ONE)
+        self.prf_evals += 2 * arr.size
+        total = int(np.add.reduce(pads)) & MASK64
+        return to_signed((value + total) & MASK64)
+
+    # -- internals ---------------------------------------------------------
+
+    def _pad_sum(self, ids: IdList) -> int:
+        """``sum_{i in S} (F(i) - F(i-1))`` = ``sum_runs F(end) - F(start-1)``."""
+        if ids.is_empty():
+            return 0
+        ends = self._prf.eval_many(ids.ends)
+        starts = self._prf.eval_many(ids.starts - _ONE)
+        self.prf_evals += 2 * ids.num_runs
+        total = int(np.add.reduce(ends - starts)) & MASK64
+        return total
+
+
+def check_overflow_headroom(max_abs_value: int, rows: int) -> None:
+    """Raise if summing ``rows`` values bounded by ``max_abs_value`` could
+    wrap ``Z_{2^64}`` ambiguously.
+
+    ASHE sums are exact modulo ``2^64``; results are interpreted as signed
+    64-bit, so the aggregate must stay within ``+-2^63``.  The planner calls
+    this when it knows column bounds.
+    """
+    if max_abs_value < 0 or rows < 0:
+        raise CryptoError("bounds must be non-negative")
+    if max_abs_value * rows >= (1 << 63):
+        raise DecryptionError(
+            f"aggregating {rows} values of magnitude <= {max_abs_value} "
+            "may overflow the signed 64-bit plaintext space"
+        )

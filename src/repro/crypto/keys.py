@@ -1,0 +1,54 @@
+"""Key management: a master key with derived per-column subkeys.
+
+Section 4.2 of the paper: "We choose a different secret key k for each new
+column we encrypt."  The :class:`KeyChain` derives those column keys from
+one master secret with a domain-separated BLAKE2b KDF, so the client only
+stores a single key and the derivation is deterministic across sessions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+
+from repro.errors import CryptoError
+
+
+class KeyChain:
+    """Derives per-(table, column, purpose) subkeys from a master key."""
+
+    KEY_BYTES = 32
+
+    def __init__(self, master_key: bytes):
+        if len(master_key) < 16:
+            raise CryptoError("master key must be at least 16 bytes")
+        self._master = bytes(master_key)
+
+    @classmethod
+    def generate(cls) -> "KeyChain":
+        """Fresh random master key from the OS CSPRNG."""
+        return cls(secrets.token_bytes(cls.KEY_BYTES))
+
+    @classmethod
+    def from_passphrase(cls, passphrase: str, salt: bytes = b"seabed-repro") -> "KeyChain":
+        """Derive a master key from a passphrase (scrypt, interactive params)."""
+        key = hashlib.scrypt(
+            passphrase.encode(), salt=salt, n=2**14, r=8, p=1, dklen=cls.KEY_BYTES
+        )
+        return cls(key)
+
+    def derive(self, *labels: str) -> bytes:
+        """Derive a 32-byte subkey for a label path such as
+        ``("sales", "revenue", "ashe")``."""
+        if not labels:
+            raise CryptoError("at least one derivation label is required")
+        h = hashlib.blake2b(key=self._master, digest_size=self.KEY_BYTES, person=b"seabedKDF")
+        for label in labels:
+            encoded = label.encode()
+            h.update(len(encoded).to_bytes(2, "big"))
+            h.update(encoded)
+        return h.digest()
+
+    def column_key(self, table: str, column: str, scheme: str) -> bytes:
+        """Subkey for one encrypted column under one scheme."""
+        return self.derive(table, column, scheme)

@@ -1,0 +1,40 @@
+"""Execution substrate: a simulated-cluster columnar engine.
+
+The paper's prototype runs on Apache Spark over an Azure HDInsight cluster
+(tens of 16-core nodes).  This package replaces that substrate with a
+deliberately transparent equivalent:
+
+- :mod:`repro.engine.table` -- partitioned columnar tables (the "HDFS +
+  cached RDD" role), with contiguous row IDs per partition.
+- :mod:`repro.engine.cluster` -- a :class:`SimulatedCluster` that executes
+  per-partition tasks for real (measuring wall time) and then schedules the
+  measured durations onto N simulated cores to obtain the cluster
+  makespan; a bandwidth/latency model covers shuffle and client transfer.
+- :mod:`repro.engine.metrics` -- per-stage and per-job timing accounting.
+- :mod:`repro.engine.storage` -- table (de)serialisation and the disk /
+  memory accounting behind the paper's Table 5.
+- :mod:`repro.engine.rdd` -- a small row-oriented RDD API (map / filter /
+  reduce / reduceByKey) mirroring the Spark API targeted by the paper's
+  query translator (Table 2).
+
+The simulation preserves the *shape* of the paper's scaling experiments
+(latency vs rows, vs cores, vs selectivity) because every code path that
+costs time in the paper -- per-partition aggregation, ID-list encoding,
+worker-side compression, shuffle volume, driver merge -- executes for real
+here; only the placement of tasks onto cores is simulated.
+"""
+
+from repro.engine.cluster import ClusterConfig, SimulatedCluster
+from repro.engine.metrics import JobMetrics, StageMetrics
+from repro.engine.rdd import RDD
+from repro.engine.table import Partition, Table
+
+__all__ = [
+    "ClusterConfig",
+    "JobMetrics",
+    "Partition",
+    "RDD",
+    "SimulatedCluster",
+    "StageMetrics",
+    "Table",
+]

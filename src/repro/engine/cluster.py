@@ -1,0 +1,162 @@
+"""The simulated cluster: real task execution, simulated placement.
+
+Substitution note (DESIGN.md Section 4): the paper measures a Spark
+deployment on up to 100 Azure cores.  Here, every task body executes for
+real and its wall time is measured; the cluster then *schedules* those
+measured durations onto ``config.cores`` simulated cores (FIFO onto the
+least-loaded core, which is how Spark's standalone scheduler behaves for
+a single stage) and reports the resulting makespan.  Network transfers are
+modelled with a bandwidth + latency link, configurable separately for the
+intra-cluster shuffle path and the server-to-client path -- Section 6.6
+of the paper varies the client link from 2 Gbps/0ms to 10 Mbps/100ms.
+
+Stragglers: the paper observes occasional straggler tasks caused by GC
+pauses (Section 6.2).  ``straggler_prob``/``straggler_factor`` inject that
+behaviour deterministically (seeded) into the simulated schedule so its
+effect on job latency can be studied without waiting for a real GC.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, replace
+from random import Random
+from typing import Callable, Sequence, TypeVar
+
+from repro.engine.metrics import JobMetrics, StageMetrics
+from repro.errors import ExecutionError
+
+T = TypeVar("T")
+
+GBPS = 1e9 / 8  # bytes per second per Gbit/s
+MBPS = 1e6 / 8
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Knobs for the simulated deployment.
+
+    Defaults approximate the paper's testbed: 100-core jobs see a ~0.6 s
+    floor from job/task creation (Figure 6a), a 2 Gbps client link, and a
+    fast intra-cluster network.
+    """
+
+    cores: int = 16
+    task_startup_s: float = 0.002  # per-task scheduling/deserialisation cost
+    job_startup_s: float = 0.25  # driver-side job submission floor
+    shuffle_bandwidth_bytes_s: float = 4 * GBPS
+    shuffle_latency_s: float = 0.001
+    client_bandwidth_bytes_s: float = 2 * GBPS
+    client_latency_s: float = 0.0005
+    straggler_prob: float = 0.0
+    straggler_factor: float = 8.0
+    seed: int = 0
+
+    def with_cores(self, cores: int) -> "ClusterConfig":
+        return replace(self, cores=cores)
+
+    def with_client_link(self, bandwidth_bytes_s: float, latency_s: float) -> "ClusterConfig":
+        return replace(
+            self,
+            client_bandwidth_bytes_s=bandwidth_bytes_s,
+            client_latency_s=latency_s,
+        )
+
+
+def makespan(durations: Sequence[float], cores: int) -> float:
+    """FIFO placement of task durations onto the least-loaded core."""
+    if cores < 1:
+        raise ExecutionError(f"cluster must have at least one core, got {cores}")
+    if not durations:
+        return 0.0
+    loads = [0.0] * min(cores, len(durations))
+    heapq.heapify(loads)
+    for d in durations:
+        heapq.heappush(loads, heapq.heappop(loads) + d)
+    return max(loads)
+
+
+class SimulatedCluster:
+    """Executes stages of tasks and accounts simulated time."""
+
+    def __init__(self, config: ClusterConfig | None = None):
+        self.config = config or ClusterConfig()
+        self._rng = Random(self.config.seed)
+
+    # -- stage execution -----------------------------------------------------
+
+    def run_stage(
+        self,
+        name: str,
+        tasks: Sequence[Callable[[], T]],
+        metrics: JobMetrics | None = None,
+    ) -> tuple[list[T], StageMetrics]:
+        """Run every task, measure it, and simulate the stage makespan."""
+        results: list[T] = []
+        times: list[float] = []
+        for task in tasks:
+            t0 = time.perf_counter()
+            results.append(task())
+            elapsed = time.perf_counter() - t0
+            simulated = elapsed + self.config.task_startup_s
+            if (
+                self.config.straggler_prob > 0.0
+                and self._rng.random() < self.config.straggler_prob
+            ):
+                simulated *= self.config.straggler_factor
+            times.append(simulated)
+        stage = StageMetrics(name=name, task_times=times, makespan=makespan(times, self.config.cores))
+        if metrics is not None:
+            metrics.add_stage(stage)
+        return results, stage
+
+    def run_driver(
+        self, name: str, fn: Callable[[], T], metrics: JobMetrics | None = None
+    ) -> T:
+        """Run single-threaded driver-side work (merge, re-encode...)."""
+        t0 = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - t0
+        stage = StageMetrics(name=name, task_times=[elapsed], makespan=elapsed)
+        if metrics is not None:
+            metrics.add_stage(stage)
+        return result
+
+    # -- network model --------------------------------------------------------
+
+    def shuffle_time(self, nbytes: int) -> float:
+        cfg = self.config
+        return cfg.shuffle_latency_s + nbytes / cfg.shuffle_bandwidth_bytes_s
+
+    def client_transfer_time(self, nbytes: int) -> float:
+        cfg = self.config
+        return cfg.client_latency_s + nbytes / cfg.client_bandwidth_bytes_s
+
+    def account_shuffle(self, metrics: JobMetrics, nbytes: int) -> None:
+        metrics.shuffle_bytes += nbytes
+        metrics.shuffle_time += self.shuffle_time(nbytes)
+
+    def account_shuffle_parallel(
+        self, metrics: JobMetrics, nbytes: int, receivers: int
+    ) -> None:
+        """Shuffle into ``receivers`` reduce tasks.
+
+        ``shuffle_bandwidth_bytes_s`` is the *aggregate* fabric bandwidth;
+        each receiving node pulls through a 1/cores share of it.  With
+        fewer receivers than cores the transfer is bottlenecked on the few
+        active links -- the effect the paper's group-inflation
+        optimisation exists to fix (Section 4.5).
+        """
+        cfg = self.config
+        per_node = cfg.shuffle_bandwidth_bytes_s / max(cfg.cores, 1)
+        active = max(1, min(receivers, cfg.cores))
+        metrics.shuffle_bytes += nbytes
+        metrics.shuffle_time += cfg.shuffle_latency_s + (nbytes / active) / per_node
+
+    def account_result_transfer(self, metrics: JobMetrics, nbytes: int) -> None:
+        metrics.result_bytes += nbytes
+        metrics.network_time += self.client_transfer_time(nbytes)
+
+    def new_job(self) -> JobMetrics:
+        return JobMetrics(job_startup=self.config.job_startup_s)

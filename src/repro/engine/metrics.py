@@ -1,0 +1,71 @@
+"""Timing and volume accounting for simulated jobs.
+
+A job is a sequence of stages (map, reduce, driver work) plus network
+transfers.  Stage task durations are *measured* (the tasks really run);
+the stage makespan is *simulated* by placing those durations onto the
+configured number of cores.  This split is what lets a 2-core laptop
+reproduce the paper's 10-to-100-core scaling curves (Figure 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class StageMetrics:
+    """One executed stage."""
+
+    name: str
+    task_times: list[float]
+    makespan: float
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.task_times)
+
+    @property
+    def total_cpu(self) -> float:
+        return sum(self.task_times)
+
+
+@dataclass
+class JobMetrics:
+    """Accumulated metrics for one query execution."""
+
+    stages: list[StageMetrics] = field(default_factory=list)
+    job_startup: float = 0.0
+    shuffle_bytes: int = 0
+    shuffle_time: float = 0.0
+    result_bytes: int = 0
+    network_time: float = 0.0  # driver -> client transfer
+    client_time: float = 0.0  # decryption + post-processing at the proxy
+
+    def add_stage(self, stage: StageMetrics) -> None:
+        self.stages.append(stage)
+
+    @property
+    def server_time(self) -> float:
+        """Simulated wall time spent on the cluster."""
+        return self.job_startup + sum(s.makespan for s in self.stages) + self.shuffle_time
+
+    @property
+    def total_time(self) -> float:
+        """End-to-end latency as the client experiences it."""
+        return self.server_time + self.network_time + self.client_time
+
+    def stage(self, name: str) -> StageMetrics:
+        for s in self.stages:
+            if s.name == name:
+                return s
+        raise KeyError(f"no stage named {name!r}")
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "server_s": self.server_time,
+            "network_s": self.network_time,
+            "client_s": self.client_time,
+            "total_s": self.total_time,
+            "result_bytes": float(self.result_bytes),
+            "shuffle_bytes": float(self.shuffle_bytes),
+        }

@@ -1,0 +1,157 @@
+"""Table serialisation and size accounting.
+
+The paper stores tables in HDFS with protobuf serialisation and reports
+per-dataset disk and in-memory sizes (Table 5).  This module provides the
+equivalent: a compact self-describing binary format for partitioned
+columnar tables, plus the size accounting used by the Table 5 benchmark.
+
+Format (all integers little-endian):
+
+    magic  "SBED"  | u16 version | u16 name_len | name bytes
+    u32 num_partitions
+    per partition: u64 start_id | u32 num_columns
+      per column: u16 name_len | name | u8 dtype_tag | u8 ndim |
+                  u32 rows | u32 width | u8 compressed | u64 payload_len |
+                  payload
+
+dtype tags: 0=int64, 1=uint64, 2=float64, 3=object (varint-framed
+big-ints, for Paillier ciphertext columns), 4=bool.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+import zlib
+
+import numpy as np
+
+from repro.engine.table import Partition, Table
+from repro.errors import ExecutionError
+
+_MAGIC = b"SBED"
+_VERSION = 1
+
+_DTYPE_TAGS: dict[str, int] = {"int64": 0, "uint64": 1, "float64": 2, "object": 3, "bool": 4}
+_TAG_DTYPES = {v: k for k, v in _DTYPE_TAGS.items()}
+
+
+def _encode_object_column(arr: np.ndarray) -> bytes:
+    """Length-prefixed big-endian big-ints (sign carried in a lead byte)."""
+    out = bytearray()
+    for x in arr.ravel().tolist():
+        x = int(x)
+        sign = 1 if x < 0 else 0
+        raw = abs(x).to_bytes((abs(x).bit_length() + 7) // 8 or 1, "big")
+        out.extend(struct.pack("<BI", sign, len(raw)))
+        out.extend(raw)
+    return bytes(out)
+
+
+def _decode_object_column(data: bytes, rows: int) -> np.ndarray:
+    out = np.empty(rows, dtype=object)
+    offset = 0
+    for j in range(rows):
+        sign, length = struct.unpack_from("<BI", data, offset)
+        offset += 5
+        value = int.from_bytes(data[offset : offset + length], "big")
+        offset += length
+        out[j] = -value if sign else value
+    return out
+
+
+def serialize_table(table: Table, compress: bool = False) -> bytes:
+    """Serialise a table; ``compress`` applies per-column Deflate."""
+    buf = io.BytesIO()
+    name = table.name.encode()
+    buf.write(_MAGIC)
+    buf.write(struct.pack("<HH", _VERSION, len(name)))
+    buf.write(name)
+    buf.write(struct.pack("<I", table.num_partitions))
+    for part in table.partitions:
+        buf.write(struct.pack("<QI", part.start_id, len(part.columns)))
+        for cname in sorted(part.columns):
+            arr = part.columns[cname]
+            dtype_name = arr.dtype.name if arr.dtype != object else "object"
+            if dtype_name not in _DTYPE_TAGS:
+                raise ExecutionError(f"unsupported column dtype {arr.dtype} in {cname!r}")
+            if arr.dtype == object:
+                payload = _encode_object_column(arr)
+                width = 1
+                rows = len(arr)
+            else:
+                payload = np.ascontiguousarray(arr).tobytes()
+                rows = arr.shape[0]
+                width = 1 if arr.ndim == 1 else arr.shape[1]
+            compressed = 0
+            if compress:
+                packed = zlib.compress(payload, 1)
+                if len(packed) < len(payload):
+                    payload, compressed = packed, 1
+            encoded_name = cname.encode()
+            buf.write(struct.pack("<H", len(encoded_name)))
+            buf.write(encoded_name)
+            buf.write(
+                struct.pack(
+                    "<BBIIBQ",
+                    _DTYPE_TAGS[dtype_name],
+                    arr.ndim,
+                    rows,
+                    width,
+                    compressed,
+                    len(payload),
+                )
+            )
+            buf.write(payload)
+    return buf.getvalue()
+
+
+def deserialize_table(data: bytes) -> Table:
+    buf = io.BytesIO(data)
+    if buf.read(4) != _MAGIC:
+        raise ExecutionError("not a serialized Seabed table")
+    version, name_len = struct.unpack("<HH", buf.read(4))
+    if version != _VERSION:
+        raise ExecutionError(f"unsupported table format version {version}")
+    name = buf.read(name_len).decode()
+    (num_partitions,) = struct.unpack("<I", buf.read(4))
+    partitions = []
+    for _ in range(num_partitions):
+        start_id, num_columns = struct.unpack("<QI", buf.read(12))
+        columns: dict[str, np.ndarray] = {}
+        for _ in range(num_columns):
+            (cname_len,) = struct.unpack("<H", buf.read(2))
+            cname = buf.read(cname_len).decode()
+            tag, ndim, rows, width, compressed, payload_len = struct.unpack(
+                "<BBIIBQ", buf.read(19)
+            )
+            payload = buf.read(payload_len)
+            if compressed:
+                payload = zlib.decompress(payload)
+            dtype_name = _TAG_DTYPES[tag]
+            if dtype_name == "object":
+                arr = _decode_object_column(payload, rows)
+            else:
+                arr = np.frombuffer(payload, dtype=np.dtype(dtype_name)).copy()
+                if ndim == 2:
+                    arr = arr.reshape(rows, width)
+            columns[cname] = arr
+        partitions.append(Partition(columns=columns, start_id=start_id))
+    return Table(name, partitions)
+
+
+def disk_size(table: Table, compress: bool = False) -> int:
+    """Bytes the table occupies in cloud storage (Table 5, "Disk size")."""
+    return len(serialize_table(table, compress=compress))
+
+
+def memory_size(table: Table) -> int:
+    """Bytes the table occupies in worker memory (Table 5, "Memory size").
+
+    Adds a per-partition overhead factor approximating JVM object headers
+    in the paper's Spark deployment (their in-memory sizes run ~1.5-3x the
+    on-disk sizes).
+    """
+    raw = table.memory_bytes()
+    per_partition_overhead = 64 * 1024
+    return int(raw * 1.35) + per_partition_overhead * table.num_partitions

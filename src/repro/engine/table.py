@@ -1,0 +1,172 @@
+"""Partitioned columnar tables with contiguous row identifiers.
+
+Seabed assigns consecutive row IDs at upload time (Section 4.2) so range
+encoding can telescope ID lists.  A :class:`Table` is a list of
+:class:`Partition` objects; partition ``p`` holds rows with IDs
+``[start_id, start_id + nrows)`` and those intervals tile the table's ID
+space without gaps.
+
+Columns are numpy arrays: ``int64`` plaintext / dictionary codes,
+``uint64`` ASHE or DET ciphertexts, 2-D ``uint64`` ORE trit words, or
+``object`` arrays of Python big-ints for Paillier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import ExecutionError
+
+
+@dataclass
+class Partition:
+    """One horizontal slice of a table."""
+
+    columns: dict[str, np.ndarray]
+    start_id: int
+
+    def __post_init__(self) -> None:
+        lengths = {name: len(arr) for name, arr in self.columns.items()}
+        if len(set(lengths.values())) > 1:
+            raise ExecutionError(f"ragged partition columns: {lengths}")
+
+    @property
+    def nrows(self) -> int:
+        if not self.columns:
+            return 0
+        return len(next(iter(self.columns.values())))
+
+    def column(self, name: str) -> np.ndarray:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise ExecutionError(
+                f"partition has no column {name!r}; available: {sorted(self.columns)}"
+            ) from None
+
+    def memory_bytes(self) -> int:
+        return sum(_array_bytes(a) for a in self.columns.values())
+
+
+class Table:
+    """A named, partitioned, columnar dataset."""
+
+    def __init__(self, name: str, partitions: list[Partition]):
+        self.name = name
+        self.partitions = partitions
+        self._validate()
+
+    def _validate(self) -> None:
+        names = None
+        next_id = None
+        for p in self.partitions:
+            if names is None:
+                names = set(p.columns)
+            elif set(p.columns) != names:
+                raise ExecutionError(f"partition column mismatch in table {self.name!r}")
+            if next_id is not None and p.start_id != next_id:
+                raise ExecutionError(
+                    f"partition IDs not contiguous in table {self.name!r}: "
+                    f"expected start {next_id}, got {p.start_id}"
+                )
+            next_id = p.start_id + p.nrows
+
+    @classmethod
+    def from_columns(
+        cls,
+        name: str,
+        columns: Mapping[str, np.ndarray],
+        num_partitions: int = 8,
+        base_id: int = 0,
+    ) -> "Table":
+        """Split columns into ``num_partitions`` roughly equal slices."""
+        if not columns:
+            raise ExecutionError("a table needs at least one column")
+        nrows = len(next(iter(columns.values())))
+        for cname, arr in columns.items():
+            if len(arr) != nrows:
+                raise ExecutionError(
+                    f"column {cname!r} has {len(arr)} rows, expected {nrows}"
+                )
+        num_partitions = max(1, min(num_partitions, max(nrows, 1)))
+        bounds = np.linspace(0, nrows, num_partitions + 1).astype(np.int64)
+        partitions = []
+        for i in range(num_partitions):
+            lo, hi = int(bounds[i]), int(bounds[i + 1])
+            partitions.append(
+                Partition(
+                    columns={cname: arr[lo:hi] for cname, arr in columns.items()},
+                    start_id=base_id + lo,
+                )
+            )
+        return cls(name, partitions)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        return sum(p.nrows for p in self.partitions)
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.partitions)
+
+    @property
+    def column_names(self) -> list[str]:
+        if not self.partitions:
+            return []
+        return sorted(self.partitions[0].columns)
+
+    @property
+    def base_id(self) -> int:
+        return self.partitions[0].start_id if self.partitions else 0
+
+    def column(self, name: str) -> np.ndarray:
+        """Concatenate one column across partitions (test/debug helper)."""
+        parts = [p.column(name) for p in self.partitions]
+        if not parts:
+            raise ExecutionError(f"table {self.name!r} has no partitions")
+        return np.concatenate(parts)
+
+    def memory_bytes(self) -> int:
+        return sum(p.memory_bytes() for p in self.partitions)
+
+    def repartition(self, num_partitions: int) -> "Table":
+        columns = {name: self.column(name) for name in self.column_names}
+        return Table.from_columns(
+            self.name, columns, num_partitions=num_partitions, base_id=self.base_id
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Table({self.name!r}, rows={self.num_rows}, "
+            f"partitions={self.num_partitions}, columns={self.column_names})"
+        )
+
+
+def _array_bytes(arr: np.ndarray) -> int:
+    """In-memory footprint, including big-int payloads in object arrays."""
+    if arr.dtype == object:
+        # Pointer array plus the Python ints themselves.
+        return arr.nbytes + sum(
+            (int(x).bit_length() + 7) // 8 + 28 for x in arr.ravel().tolist()
+        )
+    return arr.nbytes
+
+
+def concat_tables(name: str, tables: Iterable[Table]) -> Table:
+    """Append tables with identical schemas (used by streaming uploads)."""
+    tables = list(tables)
+    if not tables:
+        raise ExecutionError("no tables to concatenate")
+    names = tables[0].column_names
+    for t in tables[1:]:
+        if t.column_names != names:
+            raise ExecutionError("schema mismatch in concat_tables")
+    columns = {n: np.concatenate([t.column(n) for t in tables]) for n in names}
+    total_parts = sum(t.num_partitions for t in tables)
+    return Table.from_columns(name, columns, num_partitions=total_parts,
+                              base_id=tables[0].base_id)

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the Seabed reproduction.
+
+Every error raised deliberately by this package derives from
+:class:`SeabedError`, so callers can catch one type at the proxy boundary.
+"""
+
+from __future__ import annotations
+
+
+class SeabedError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class CryptoError(SeabedError):
+    """A cryptographic operation failed (bad key size, domain overflow...)."""
+
+
+class EncodingError(SeabedError):
+    """An ID-list codec was fed malformed bytes or an invalid ID sequence."""
+
+
+class PlanningError(SeabedError):
+    """The data planner could not produce an encrypted schema."""
+
+
+class TranslationError(SeabedError):
+    """A query cannot be rewritten against the encrypted schema."""
+
+
+class ExecutionError(SeabedError):
+    """The engine failed while executing a physical plan."""
+
+
+class DecryptionError(SeabedError):
+    """The client-side decryption module received an inconsistent result."""
+
+
+class ParseError(SeabedError):
+    """The SQL-subset parser rejected the query text."""

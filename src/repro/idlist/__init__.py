@@ -1,0 +1,21 @@
+"""ID-list management for ASHE aggregation results.
+
+An ASHE ciphertext carries the multiset of row identifiers that were folded
+into it (Section 3.1); Seabed keeps that multiset small with a stack of
+integer-list encodings (Section 4.5, Table 3): range encoding, differential
+encoding, variable-byte encoding, and Deflate compression, plus bitmap
+baselines evaluated (and rejected) by the paper.
+
+- :class:`repro.idlist.idlist.IdList` -- the canonical sorted-run
+  representation with vectorised set algebra.
+- :mod:`repro.idlist.varbyte` -- vectorised LEB128-style varints.
+- :mod:`repro.idlist.encoding` -- range / diff transforms (Table 3).
+- :mod:`repro.idlist.bitmap` -- plain and word-aligned bitmap codecs.
+- :mod:`repro.idlist.codec` -- composable codec pipelines and the named
+  combinations benchmarked in Figure 8.
+"""
+
+from repro.idlist.codec import CODECS, IdListCodec, get_codec
+from repro.idlist.idlist import IdList
+
+__all__ = ["CODECS", "IdList", "IdListCodec", "get_codec"]

@@ -1,0 +1,253 @@
+"""Composable ID-list codec pipelines (paper Section 4.5, Figure 8).
+
+A codec is a self-describing byte format: one header byte of flags, then a
+payload.  The stages mirror the paper exactly:
+
+1. optional **range** transform (runs instead of raw IDs);
+2. optional **diff** transform (deltas instead of absolutes; applied to a
+   range sequence this is the paper's *Combination*);
+3. **variable-byte** packing (always -- it is the serialisation);
+4. optional **Deflate** at a *fast* (level 1) or *compact* (level 9)
+   setting.
+
+Bitmap codecs bypass stages 1-3.  The named combinations in
+:data:`CODECS` are the exact series of Figure 8(a)/(b) plus the group-by
+codec (VB+Diff without ranges, Section 4.5) and baselines.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import EncodingError
+from repro.idlist import bitmap, encoding, varbyte
+from repro.idlist.idlist import IdList
+
+_FLAG_RANGES = 0x01
+_FLAG_DIFF = 0x02
+_FLAG_DEFLATE = 0x04
+_FLAG_BITMAP_PLAIN = 0x08
+_FLAG_BITMAP_WAH = 0x10
+_FLAG_FIXED64 = 0x20
+
+
+@dataclass(frozen=True)
+class IdListCodec:
+    """One configured encode/decode pipeline."""
+
+    name: str
+    use_ranges: bool = True
+    use_diff: bool = True
+    deflate_level: int | None = None
+    bitmap_kind: str | None = None  # None | "plain" | "wah"
+    fixed_width: bool = False  # raw 8-byte IDs, the uncompressed baseline
+
+    def encode(self, ids: IdList) -> bytes:
+        if self.fixed_width:
+            return bytes([_FLAG_FIXED64]) + ids.to_ids().tobytes()
+        if self.bitmap_kind == "plain":
+            return bytes([_FLAG_BITMAP_PLAIN]) + bitmap.plain_encode(ids)
+        if self.bitmap_kind == "wah":
+            return bytes([_FLAG_BITMAP_WAH]) + bitmap.wah_encode(ids)
+
+        flags = 0
+        if self.use_ranges:
+            flags |= _FLAG_RANGES
+            if self.use_diff:
+                flags |= _FLAG_DIFF
+                seq = encoding.combination_encode(ids)
+            else:
+                seq = encoding.ranges_flatten(ids)
+        else:
+            seq = ids.to_ids()
+            if self.use_diff:
+                flags |= _FLAG_DIFF
+                seq = encoding.diff_encode(seq)
+        payload = varbyte.encode(seq)
+        if self.deflate_level is not None:
+            flags |= _FLAG_DEFLATE
+            payload = zlib.compress(payload, self.deflate_level)
+        return bytes([flags]) + payload
+
+    def decode(self, data: bytes) -> IdList:
+        return decode(data)
+
+    def encoded_size(self, ids: IdList) -> int:
+        return len(self.encode(ids))
+
+
+def decode(data: bytes) -> IdList:
+    """Decode any codec output (the header byte is self-describing)."""
+    if not data:
+        raise EncodingError("empty codec payload")
+    flags, payload = data[0], data[1:]
+    if flags & _FLAG_FIXED64:
+        return IdList.from_ids(np.frombuffer(payload, dtype=np.uint64))
+    if flags & _FLAG_BITMAP_PLAIN:
+        return bitmap.plain_decode(payload)
+    if flags & _FLAG_BITMAP_WAH:
+        return bitmap.wah_decode(payload)
+    if flags & _FLAG_DEFLATE:
+        payload = zlib.decompress(payload)
+    seq = varbyte.decode(payload)
+    if flags & _FLAG_RANGES:
+        if flags & _FLAG_DIFF:
+            return encoding.combination_decode(seq)
+        return encoding.ranges_unflatten(seq)
+    if flags & _FLAG_DIFF:
+        seq = encoding.diff_decode(seq)
+    return IdList.from_ids(seq)
+
+
+#: Named pipelines. ``seabed`` is the paper's production choice
+#: (Section 6.4): ranges + VB + diff + Deflate optimised for speed.
+#: ``groupby`` is the paper's group-by path: VB + diff, no ranges.
+CODECS: dict[str, IdListCodec] = {
+    "fixed64": IdListCodec(
+        "fixed64", use_ranges=False, use_diff=False, fixed_width=True
+    ),
+    "vb": IdListCodec("vb", use_ranges=False, use_diff=False),
+    "vb+diff": IdListCodec("vb+diff", use_ranges=False, use_diff=True),
+    "ranges+vb": IdListCodec("ranges+vb", use_ranges=True, use_diff=False),
+    "ranges+vb+diff": IdListCodec("ranges+vb+diff", use_ranges=True, use_diff=True),
+    "ranges+vb+diff+deflate_compact": IdListCodec(
+        "ranges+vb+diff+deflate_compact",
+        use_ranges=True,
+        use_diff=True,
+        deflate_level=9,
+    ),
+    "ranges+vb+diff+deflate_fast": IdListCodec(
+        "ranges+vb+diff+deflate_fast",
+        use_ranges=True,
+        use_diff=True,
+        deflate_level=1,
+    ),
+    "bitmap": IdListCodec("bitmap", bitmap_kind="plain"),
+    "bitmap_wah": IdListCodec("bitmap_wah", bitmap_kind="wah"),
+}
+CODECS["seabed"] = IdListCodec(
+    "seabed", use_ranges=True, use_diff=True, deflate_level=1
+)
+CODECS["groupby"] = IdListCodec("groupby", use_ranges=False, use_diff=True)
+
+
+_FLAG_MULTISET = 0x40
+
+
+def encode_groups_vb_diff(
+    sorted_ids: np.ndarray, starts: np.ndarray, bounds: np.ndarray
+) -> list[bytes]:
+    """Encode many per-group ID lists in two vectorised passes.
+
+    ``sorted_ids`` holds every selected row ID ordered by (group, id);
+    ``starts``/``bounds`` delimit the groups.  Diff-encoding the whole
+    array (re-anchoring each group's first element to its absolute ID) and
+    variable-byte-packing once lets each group's payload be a byte *slice*
+    of the shared stream -- the per-group Python cost drops to a slice and
+    a header byte.  Output chunks decode with the standard self-describing
+    decoder (VB+Diff, the paper's group-by codec).
+    """
+    ids = np.asarray(sorted_ids, dtype=np.uint64)
+    if ids.size == 0:
+        return []
+    seq = np.empty_like(ids)
+    seq[0] = ids[0]
+    seq[1:] = ids[1:] - ids[:-1]
+    seq[starts] = ids[starts]  # re-anchor each group
+    payload, offsets = varbyte.encode_with_offsets(seq)
+    header = bytes([_FLAG_DIFF])
+    return [
+        header + payload[offsets[int(starts[g])] : offsets[int(bounds[g + 1])]]
+        for g in range(len(starts))
+    ]
+
+
+def encode_multiset(ids: np.ndarray, deflate_level: int | None = 1) -> bytes:
+    """Encode an ID *multiset* (duplicates allowed) -- the join path.
+
+    ASHE ID collections are multisets (Section 3.1): when a build-side row
+    joins several probe rows its identifier appears once per match.  The
+    run-based :class:`IdList` cannot hold duplicates, so joined aggregates
+    ship sorted raw IDs through diff + varbyte + Deflate instead.
+    """
+    arr = np.sort(np.asarray(ids, dtype=np.uint64))
+    seq = encoding.diff_encode(arr)
+    payload = varbyte.encode(seq)
+    flags = _FLAG_MULTISET | _FLAG_DIFF
+    if deflate_level is not None:
+        flags |= _FLAG_DEFLATE
+        payload = zlib.compress(payload, deflate_level)
+    return bytes([flags]) + payload
+
+
+def decode_multiset(data: bytes) -> np.ndarray:
+    """Decode a multiset payload back to the sorted uint64 ID array."""
+    if not data or not data[0] & _FLAG_MULTISET:
+        raise EncodingError("not a multiset codec payload")
+    flags, payload = data[0], data[1:]
+    if flags & _FLAG_DEFLATE:
+        payload = zlib.decompress(payload)
+    seq = varbyte.decode(payload)
+    return encoding.diff_decode(seq)
+
+
+def is_multiset_payload(data: bytes) -> bool:
+    return bool(data) and bool(data[0] & _FLAG_MULTISET)
+
+
+def decode_chunks_batch(chunks: list[bytes]) -> tuple[np.ndarray, np.ndarray]:
+    """Decode many chunks into one ID array plus per-chunk counts.
+
+    The client receives one encoded chunk per (group, partition) -- easily
+    thousands per query -- so per-chunk Python overhead dominates naive
+    decoding.  When every chunk uses the group-by VB+Diff format this
+    decodes the concatenated payload in a handful of numpy passes and
+    splits on vectorised chunk boundaries; other formats fall back to
+    per-chunk decoding.
+
+    Returns ``(ids, counts)`` where ``counts[i]`` is chunk ``i``'s ID count
+    and ``ids`` is their concatenation in chunk order (duplicates preserved
+    for multiset chunks).
+    """
+    if not chunks:
+        return np.empty(0, np.uint64), np.empty(0, np.int64)
+    if all(len(c) > 1 and c[0] == _FLAG_DIFF for c in chunks):
+        payload_lengths = np.asarray([len(c) - 1 for c in chunks], dtype=np.int64)
+        blob = b"".join(c[1:] for c in chunks)
+        raw = np.frombuffer(blob, dtype=np.uint8)
+        seq = varbyte.decode(blob)
+        # Values per chunk: terminal bytes (high bit clear) per byte span.
+        terminal_cum = np.cumsum((raw & 0x80) == 0)
+        byte_bounds = np.cumsum(payload_lengths)
+        value_bounds = terminal_cum[byte_bounds - 1]
+        counts = np.diff(np.concatenate([[0], value_bounds])).astype(np.int64)
+        starts = np.concatenate([[0], value_bounds[:-1]]).astype(np.int64)
+        # Segmented cumsum: each chunk's first value is absolute.
+        totals = np.cumsum(seq, dtype=np.uint64)
+        base = np.zeros(len(chunks), dtype=np.uint64)
+        base[1:] = totals[starts[1:] - 1]
+        ids = totals - np.repeat(base, counts)
+        return ids, counts
+    pieces: list[np.ndarray] = []
+    counts_list: list[int] = []
+    for chunk in chunks:
+        if is_multiset_payload(chunk):
+            arr = decode_multiset(chunk)
+        else:
+            arr = decode(chunk).to_ids()
+        pieces.append(arr)
+        counts_list.append(len(arr))
+    ids = np.concatenate(pieces) if pieces else np.empty(0, np.uint64)
+    return ids, np.asarray(counts_list, dtype=np.int64)
+
+
+def get_codec(name: str) -> IdListCodec:
+    try:
+        return CODECS[name]
+    except KeyError:
+        raise EncodingError(
+            f"unknown ID-list codec {name!r}; choose from {sorted(CODECS)}"
+        ) from None

@@ -1,0 +1,259 @@
+"""A recursive-descent parser for the OLAP SQL subset Seabed supports.
+
+Grammar (keywords case-insensitive)::
+
+    query      := SELECT items FROM ident [join] [WHERE or_expr]
+                  [GROUP BY idents] [ORDER BY orders] [LIMIT int]
+    join       := JOIN ident ON ident '=' ident
+    items      := item (',' item)*
+    item       := func '(' (ident | '*') ')' [AS ident] | ident
+    or_expr    := and_expr (OR and_expr)*
+    and_expr   := unary (AND unary)*
+    unary      := NOT unary | '(' or_expr ')' | predicate
+    predicate  := ident op literal
+                | ident IN '(' literal (',' literal)* ')'
+                | ident BETWEEN literal AND literal
+    op         := '=' | '!=' | '<>' | '<' | '<=' | '>' | '>='
+    literal    := integer | float | 'string'
+
+This is deliberately the fragment exercised by the paper's workloads
+(microbenchmarks, ad analytics, Big Data Benchmark); anything outside it
+raises :class:`~repro.errors.ParseError` with a position, which the proxy
+surfaces to the analyst.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+from repro.query.ast import (
+    AGGREGATE_FUNCS,
+    Aggregate,
+    And,
+    Between,
+    ColumnRef,
+    Comparison,
+    InList,
+    JoinClause,
+    Literal,
+    Not,
+    Or,
+    Predicate,
+    Query,
+    SelectItem,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<float>\d+\.\d+)
+  | (?P<int>\d+)
+  | (?P<string>'(?:[^'\\]|\\.)*')
+  | (?P<op><=|>=|!=|<>|=|<|>)
+  | (?P<punct>[(),*])
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_.]*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "select", "from", "where", "group", "by", "and", "or", "not", "in",
+    "between", "as", "join", "on", "order", "limit", "asc", "desc",
+}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # ws|float|int|string|op|punct|ident|keyword|eof
+    text: str
+    pos: int
+
+
+def _tokenize(sql: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(sql):
+        match = _TOKEN_RE.match(sql, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {sql[pos]!r} at position {pos}")
+        kind = match.lastgroup or ""
+        text = match.group()
+        if kind != "ws":
+            if kind == "ident" and text.lower() in _KEYWORDS:
+                kind, text = "keyword", text.lower()
+            tokens.append(_Token(kind, text, pos))
+        pos = match.end()
+    tokens.append(_Token("eof", "", len(sql)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, sql: str):
+        self._sql = sql
+        self._tokens = _tokenize(sql)
+        self._i = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    def _peek(self) -> _Token:
+        return self._tokens[self._i]
+
+    def _next(self) -> _Token:
+        tok = self._tokens[self._i]
+        self._i += 1
+        return tok
+
+    def _accept(self, kind: str, text: str | None = None) -> _Token | None:
+        tok = self._peek()
+        if tok.kind == kind and (text is None or tok.text == text):
+            return self._next()
+        return None
+
+    def _expect(self, kind: str, text: str | None = None) -> _Token:
+        tok = self._accept(kind, text)
+        if tok is None:
+            want = text or kind
+            got = self._peek()
+            raise ParseError(
+                f"expected {want!r} at position {got.pos}, found {got.text or 'end of query'!r}"
+            )
+        return tok
+
+    # -- grammar --------------------------------------------------------------
+
+    def parse(self) -> Query:
+        self._expect("keyword", "select")
+        select = self._select_items()
+        self._expect("keyword", "from")
+        table = self._expect("ident").text
+        join = None
+        if self._accept("keyword", "join"):
+            join_table = self._expect("ident").text
+            self._expect("keyword", "on")
+            left = self._expect("ident").text
+            self._expect("op", "=")
+            right = self._expect("ident").text
+            join = JoinClause(table=join_table, left_column=left, right_column=right)
+        where = None
+        if self._accept("keyword", "where"):
+            where = self._or_expr()
+        group_by: tuple[str, ...] = ()
+        if self._accept("keyword", "group"):
+            self._expect("keyword", "by")
+            group_by = self._ident_list()
+        order_by: tuple[tuple[str, bool], ...] = ()
+        if self._accept("keyword", "order"):
+            self._expect("keyword", "by")
+            order_by = self._order_list()
+        limit = None
+        if self._accept("keyword", "limit"):
+            limit = int(self._expect("int").text)
+        self._expect("eof")
+        return Query(
+            select=select, table=table, join=join, where=where,
+            group_by=group_by, order_by=order_by, limit=limit,
+        )
+
+    def _select_items(self) -> tuple[SelectItem, ...]:
+        items = [self._select_item()]
+        while self._accept("punct", ","):
+            items.append(self._select_item())
+        return tuple(items)
+
+    def _select_item(self) -> SelectItem:
+        tok = self._expect("ident")
+        name = tok.text
+        if self._accept("punct", "("):
+            func = name.lower()
+            if func not in AGGREGATE_FUNCS:
+                raise ParseError(
+                    f"unknown aggregate function {name!r} at position {tok.pos}"
+                )
+            if self._accept("punct", "*"):
+                column = None
+            else:
+                column = self._expect("ident").text
+            self._expect("punct", ")")
+            alias = None
+            if self._accept("keyword", "as"):
+                alias = self._expect("ident").text
+            return Aggregate(func=func, column=column, alias=alias)
+        return ColumnRef(name=name)
+
+    def _ident_list(self) -> tuple[str, ...]:
+        names = [self._expect("ident").text]
+        while self._accept("punct", ","):
+            names.append(self._expect("ident").text)
+        return tuple(names)
+
+    def _order_list(self) -> tuple[tuple[str, bool], ...]:
+        orders = []
+        while True:
+            name = self._expect("ident").text
+            descending = False
+            if self._accept("keyword", "desc"):
+                descending = True
+            else:
+                self._accept("keyword", "asc")
+            orders.append((name, descending))
+            if not self._accept("punct", ","):
+                return tuple(orders)
+
+    # -- predicates ---------------------------------------------------------
+
+    def _or_expr(self) -> Predicate:
+        children = [self._and_expr()]
+        while self._accept("keyword", "or"):
+            children.append(self._and_expr())
+        return children[0] if len(children) == 1 else Or(tuple(children))
+
+    def _and_expr(self) -> Predicate:
+        children = [self._unary()]
+        while self._accept("keyword", "and"):
+            children.append(self._unary())
+        return children[0] if len(children) == 1 else And(tuple(children))
+
+    def _unary(self) -> Predicate:
+        if self._accept("keyword", "not"):
+            return Not(self._unary())
+        if self._accept("punct", "("):
+            inner = self._or_expr()
+            self._expect("punct", ")")
+            return inner
+        return self._predicate()
+
+    def _predicate(self) -> Predicate:
+        column = self._expect("ident").text
+        if self._accept("keyword", "in"):
+            self._expect("punct", "(")
+            values = [self._literal()]
+            while self._accept("punct", ","):
+                values.append(self._literal())
+            self._expect("punct", ")")
+            return InList(column=column, values=tuple(values))
+        if self._accept("keyword", "between"):
+            low = self._literal()
+            self._expect("keyword", "and")
+            high = self._literal()
+            return Between(column=column, low=low, high=high)
+        op_tok = self._expect("op")
+        op = "!=" if op_tok.text == "<>" else op_tok.text
+        return Comparison(column=column, op=op, value=self._literal())
+
+    def _literal(self) -> Literal:
+        tok = self._next()
+        if tok.kind == "int":
+            return int(tok.text)
+        if tok.kind == "float":
+            return float(tok.text)
+        if tok.kind == "string":
+            body = tok.text[1:-1]
+            return body.replace("\\'", "'").replace("\\\\", "\\")
+        raise ParseError(f"expected a literal at position {tok.pos}, found {tok.text!r}")
+
+
+def parse_query(sql: str) -> Query:
+    """Parse one SELECT statement into a :class:`~repro.query.ast.Query`."""
+    return _Parser(sql).parse()

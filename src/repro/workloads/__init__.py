@@ -1,0 +1,15 @@
+"""Dataset and query-set generators for the paper's evaluation.
+
+- :mod:`repro.workloads.synthetic` -- the microbenchmark table
+  (Sections 6.2-6.5): one measure column, optional group / OPE columns.
+- :mod:`repro.workloads.bdb` -- the AmpLab Big Data Benchmark
+  (Section 6.7): rankings + uservisits generators and queries Q1-Q4.
+- :mod:`repro.workloads.adanalytics` -- the advertising-analytics
+  application (Section 6.6): 33-dimension / 18-measure schema, Zipf value
+  distributions, and a query-log generator with the published structural
+  mix.
+- :mod:`repro.workloads.mdx` -- the 38-function MDX catalog (Table 6).
+- :mod:`repro.workloads.tpcds` -- a feature catalog of the 99 TPC-DS
+  queries (Table 4).
+- :mod:`repro.workloads.distributions` -- Zipf and skew helpers.
+"""

@@ -1,0 +1,145 @@
+"""The MDX function catalog (paper Appendix B, Table 6).
+
+MDX is the industry-standard BI back-end interface the paper analyses in
+Section 5.  Each of the 38 functions is recorded with the *structural
+features* that determine how Seabed can support it; the category is
+derived by :class:`~repro.core.classify.QueryFeatures`, not hard-coded,
+so the classifier logic is what the Table 6 test actually exercises.
+
+Expected totals (paper Table 4, "MDX" row): 38 functions, 17 purely on
+server, 12 client pre-processing, 4 client post-processing, 5 two
+round-trips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.classify import QueryFeatures
+
+
+@dataclass(frozen=True)
+class MdxFunction:
+    number: int
+    name: str
+    description: str
+    how_supported: str
+    features: QueryFeatures
+
+    @property
+    def category(self) -> str:
+        return self.features.category()
+
+
+def _server(aggs: frozenset[str] = frozenset()) -> QueryFeatures:
+    return QueryFeatures(aggregates=aggs)
+
+
+def _pre(aggs: frozenset[str] = frozenset()) -> QueryFeatures:
+    return QueryFeatures(aggregates=aggs, needs_precomputed_column=True)
+
+
+def _post() -> QueryFeatures:
+    return QueryFeatures(returns_data_for_client_compute=True)
+
+
+def _iterative() -> QueryFeatures:
+    return QueryFeatures(iterative=True)
+
+
+MDX_CATALOG: list[MdxFunction] = [
+    MdxFunction(1, "Aggregate", "Aggregates of measures",
+                "ASHE for Sum, Count; OPE for Max, Min",
+                _server(frozenset({"sum", "count", "min", "max"}))),
+    MdxFunction(2, "Avg", "Average of measures",
+                "ASHE for Sum, Count; Client does division",
+                _server(frozenset({"avg"}))),
+    MdxFunction(3, "CalculationCurrentPass", "Current calculation pass of cube",
+                "Independent of Seabed", _server()),
+    MdxFunction(4, "CalculationPassValue",
+                "Returns MDX expression value after current pass",
+                "Independent of Seabed", _server()),
+    MdxFunction(5, "CoalesceEmpty", "Updates empty value to numeric/string",
+                "Can be done with extra counter with identity",
+                _pre()),
+    MdxFunction(6, "Correlation", "Correlation Coefficient of two series X, Y",
+                "ASHE & precomputation of XY; Client does division",
+                _pre(frozenset({"correlation"}))),
+    MdxFunction(7, "Count(Dimensions)", "Number of dimensions in cube",
+                "Independent of Seabed", _server()),
+    MdxFunction(8, "Count(Hierarchy Levels)", "Number of levels in hierarchy",
+                "Independent of Seabed", _server()),
+    MdxFunction(9, "Count(Set)", "Number of elements in a set",
+                "Using DE or SPLASHE", _server(frozenset({"count"}))),
+    MdxFunction(10, "Count(Tuple)", "Number of dimensions in tuple",
+                "Independent of Seabed", _server()),
+    MdxFunction(11, "Covariance", "Covariance of X, Y",
+                "Same as Correlation", _pre(frozenset({"covariance"}))),
+    MdxFunction(12, "CovarianceN", "Covariance of X, Y (with division by N-1)",
+                "Same as Correlation", _pre(frozenset({"covariance"}))),
+    MdxFunction(13, "DistinctCount", "Counts distinct elements",
+                "Using DE or SPLASHE", _server(frozenset({"count"}))),
+    MdxFunction(14, "IIf", "One of two values based on logical test",
+                "Two values sent back to the client", _post()),
+    MdxFunction(15, "LinRegIntercept",
+                "Intercept in the Regression Line using Least Squares Method",
+                "Data sent back to client for every iteration", _iterative()),
+    MdxFunction(16, "LinRegPoint", "y in the regression line",
+                "Same as LinRegIntercept", _iterative()),
+    MdxFunction(17, "LinRegR2", "Coefficient of Determination",
+                "Same as LinRegIntercept", _iterative()),
+    MdxFunction(18, "LinRegSlope", "Slope of the regression line",
+                "Same as LinRegIntercept", _iterative()),
+    MdxFunction(19, "LinRegVariance",
+                "Variance associated with regression line",
+                "Same as LinRegIntercept", _iterative()),
+    MdxFunction(20, "LookupCube", "MDX expression over a cube",
+                "Data sent back to client for computation", _post()),
+    MdxFunction(21, "Max", "Maximum value in set", "Using OPE",
+                _server(frozenset({"max"}))),
+    MdxFunction(22, "Median", "Median value in set", "Using OPE",
+                _server(frozenset({"median"}))),
+    MdxFunction(23, "Min", "Minimum value in set", "Using OPE",
+                _server(frozenset({"min"}))),
+    MdxFunction(24, "Ordinal", "Zero-based ordinal value", "Using OPE",
+                _server()),
+    MdxFunction(25, "Predict", "Value of expression over data mining model",
+                "Data sent back to client for computation", _post()),
+    MdxFunction(26, "Rank", "One-based rank of set", "Using OPE", _server()),
+    MdxFunction(27, "RollupChildren",
+                "Value generated by rolling up values of children",
+                "Data sent back to client for computation", _post()),
+    MdxFunction(28, "Stddev", "Standard deviation of a set X",
+                "ASHE when Client uploads encrypted X^2 terms",
+                _pre(frozenset({"stddev"}))),
+    MdxFunction(29, "StddevP", "Std. Dev. using biased population formula",
+                "Same as Stddev", _pre(frozenset({"stddev"}))),
+    MdxFunction(30, "Stdev", "Alias for Stddev", "Same as Stddev",
+                _pre(frozenset({"stddev"}))),
+    MdxFunction(31, "StdevP", "Alias for StddevP", "Same as Stddev",
+                _pre(frozenset({"stddev"}))),
+    MdxFunction(32, "StrToValue", "Value of MDX-formatted string",
+                "Independent of Seabed", _server()),
+    MdxFunction(33, "Sum", "Sum over a set", "Using ASHE",
+                _server(frozenset({"sum"}))),
+    MdxFunction(34, "Value", "Value of a measure as a string",
+                "Independent of Seabed", _server()),
+    MdxFunction(35, "Var", "Variance of a set X", "Same as Stddev",
+                _pre(frozenset({"var"}))),
+    MdxFunction(36, "Variance", "Alias for Var", "Same as Stddev",
+                _pre(frozenset({"var"}))),
+    MdxFunction(37, "VarianceP", "Alias for VarP", "Same as Stddev",
+                _pre(frozenset({"var"}))),
+    MdxFunction(38, "VarP", "Variance using biased population formula",
+                "Same as Stddev", _pre(frozenset({"var"}))),
+]
+
+#: Paper Table 4, MDX row.
+PAPER_COUNTS = {"Total": 38, "S": 17, "CPre": 12, "CPost": 4, "2R": 5}
+
+
+def category_counts() -> dict[str, int]:
+    counts = {"Total": len(MDX_CATALOG), "S": 0, "CPre": 0, "CPost": 0, "2R": 0}
+    for fn in MDX_CATALOG:
+        counts[fn.category] += 1
+    return counts

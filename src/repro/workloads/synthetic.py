@@ -1,0 +1,88 @@
+"""The microbenchmark dataset (paper Sections 6.2-6.5, Table 5).
+
+The paper's synthetic tables hold one integer measure (plus the implicit
+ID column for ASHE); the group-by experiment adds an integer group column
+and the OPE experiment adds a range-filterable column.  ``selectivity``
+replicates the paper's random row-selection model: each row is chosen
+independently with the given probability, which exercises the worst case
+for ID-list compression (Section 6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.schema import ColumnSpec, TableSchema
+from repro.errors import SeabedError
+
+
+@dataclass
+class SyntheticDataset:
+    """Columns plus the matching schema and handy sample queries."""
+
+    columns: dict[str, np.ndarray]
+    schema: TableSchema
+    rows: int
+
+
+def generate(
+    rows: int,
+    seed: int = 0,
+    value_range: int = 1000,
+    num_groups: int | None = None,
+    with_ope_column: bool = False,
+    table_name: str = "synth",
+) -> SyntheticDataset:
+    """Build the microbenchmark table.
+
+    ``num_groups`` adds a ``grp`` column with that many distinct values
+    (Figure 9a); ``with_ope_column`` adds ``ope_val`` for the Figure 8c
+    selection experiment.
+    """
+    if rows < 1:
+        raise SeabedError("rows must be positive")
+    rng = np.random.default_rng(seed)
+    columns: dict[str, np.ndarray] = {
+        "value": rng.integers(0, value_range, rows).astype(np.int64)
+    }
+    specs = [ColumnSpec("value", dtype="int", sensitive=True, nbits=32)]
+    if num_groups is not None:
+        columns["grp"] = rng.integers(0, num_groups, rows).astype(np.int64)
+        specs.append(ColumnSpec("grp", dtype="int", sensitive=True))
+    if with_ope_column:
+        columns["ope_val"] = rng.integers(0, value_range, rows).astype(np.int64)
+        specs.append(ColumnSpec("ope_val", dtype="int", sensitive=True, nbits=32))
+    return SyntheticDataset(
+        columns=columns,
+        schema=TableSchema(table_name, specs),
+        rows=rows,
+    )
+
+
+def sample_queries(dataset: SyntheticDataset) -> list[str]:
+    """Sample queries that make the planner pick the paper's schemes."""
+    name = dataset.schema.name
+    queries = [f"SELECT sum(value) FROM {name}"]
+    if "grp" in dataset.columns:
+        queries.append(f"SELECT grp, sum(value) FROM {name} GROUP BY grp")
+    if "ope_val" in dataset.columns:
+        queries.append(f"SELECT sum(value) FROM {name} WHERE ope_val > 10")
+    return queries
+
+
+def selectivity_mask(rows: int, selectivity: float, seed: int = 0) -> np.ndarray:
+    """The paper's random selection model: each row kept with probability
+    ``selectivity`` (Section 6.1)."""
+    if not 0.0 <= selectivity <= 1.0:
+        raise SeabedError("selectivity must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    return rng.random(rows) < selectivity
+
+
+def selectivity_filter_column(rows: int, seed: int = 0) -> np.ndarray:
+    """A uniform [0, 1e6) column; ``sel_col < s * 1e6`` selects ~s of the
+    rows, letting benchmarks express selectivity as a server-side filter."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 1_000_000, rows).astype(np.int64)

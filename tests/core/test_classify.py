@@ -1,0 +1,55 @@
+"""Tests for query-support classification (repro.core.classify)."""
+
+from repro.core.classify import CategoryCounts, QueryFeatures, classify_query
+from repro.query.parser import parse_query
+
+
+class TestFeatureClassification:
+    def test_plain_aggregation_is_server(self):
+        assert QueryFeatures(aggregates=frozenset({"sum", "count"})).category() == "S"
+
+    def test_avg_is_server(self):
+        # Table 6 row 2: client division does not change the category.
+        assert QueryFeatures(aggregates=frozenset({"avg"})).category() == "S"
+
+    def test_variance_needs_preprocessing(self):
+        assert QueryFeatures(aggregates=frozenset({"stddev"})).category() == "CPre"
+        assert QueryFeatures(aggregates=frozenset({"var"})).category() == "CPre"
+
+    def test_correlation_needs_preprocessing(self):
+        assert QueryFeatures(aggregates=frozenset({"correlation"})).category() == "CPre"
+
+    def test_udf_needs_postprocessing(self):
+        assert QueryFeatures(has_udf=True).category() == "CPost"
+
+    def test_iteration_needs_two_rounds(self):
+        assert QueryFeatures(iterative=True).category() == "2R"
+
+    def test_iteration_dominates(self):
+        f = QueryFeatures(aggregates=frozenset({"var"}), has_udf=True, iterative=True)
+        assert f.category() == "2R"
+
+    def test_precomputed_counter_flag(self):
+        assert QueryFeatures(needs_precomputed_column=True).category() == "CPre"
+
+
+class TestAstClassification:
+    def test_sum_query(self):
+        assert classify_query(parse_query("SELECT sum(a) FROM t")) == "S"
+
+    def test_minmax_query(self):
+        assert classify_query(parse_query("SELECT min(a), max(a) FROM t")) == "S"
+
+    def test_var_query(self):
+        assert classify_query(parse_query("SELECT var(a) FROM t")) == "CPre"
+
+
+class TestCategoryCounts:
+    def test_tally_and_row(self):
+        counts = CategoryCounts("demo")
+        counts.add("S", 3)
+        counts.add("CPost")
+        row = counts.row()
+        assert row["Total"] == 4
+        assert row["Purely on Server"] == 3
+        assert row["Client Post-processing"] == 1

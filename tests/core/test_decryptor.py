@@ -1,0 +1,127 @@
+"""Unit tests for the decryption module (repro.core.decryptor).
+
+The integration suite covers value correctness end-to-end; here we check
+the decryptor's own contract: payload handling, chunk accumulation,
+validation, and group-key decoding.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import server as srv
+from repro.core.crypto_factory import CryptoFactory
+from repro.core.decryptor import DecryptionModule
+from repro.core.encryptor import ClientTableState, EncryptionModule
+from repro.core.planner import Planner
+from repro.core.schema import ColumnSpec, TableSchema
+from repro.core.translator import QueryTranslator
+from repro.crypto.keys import KeyChain
+from repro.errors import DecryptionError
+from repro.idlist import IdList, get_codec
+from repro.idlist.codec import encode_multiset
+from repro.query.parser import parse_query
+
+KEY = b"d" * 32
+
+
+@pytest.fixture(scope="module")
+def env():
+    schema = TableSchema("t", [
+        ColumnSpec("x", dtype="int", sensitive=True),
+        ColumnSpec("g", dtype="int", sensitive=True),
+    ])
+    samples = [parse_query("SELECT g, sum(x) FROM t GROUP BY g")]
+    enc, _ = Planner("seabed").plan(schema, samples)
+    state = ClientTableState(schema=schema, enc_schema=enc)
+    factory = CryptoFactory(KeyChain(KEY), "t")
+    rng = np.random.default_rng(0)
+    EncryptionModule(factory, seed=0).encrypt_batch(state, {
+        "x": rng.integers(0, 50, 100),
+        "g": rng.integers(0, 4, 100),
+    }, num_partitions=2)
+    translator = QueryTranslator(state, factory)
+    return state, factory, translator
+
+
+class TestPayloadDecryption:
+    def test_ashe_chunk_accumulation(self, env):
+        """Multiple worker chunks accumulate pads chunk-by-chunk."""
+        state, factory, _ = env
+        scheme = factory.ashe("x__ashe")
+        values = np.array([10, 20, 30, 40], dtype=np.int64)
+        cipher = scheme.encrypt_column(values, start_id=0)
+        codec = get_codec("seabed")
+        chunk1 = codec.encode(IdList.from_range(0, 2))
+        chunk2 = codec.encode(IdList.from_range(2, 4))
+        total = int(cipher.sum()) & (2**64 - 1)
+        module = DecryptionModule(state, factory)
+        agg = srv.AsheSum("x__ashe", "a")
+        got = module._decrypt_payload(("ashe", total, [chunk1, chunk2], False), agg)
+        assert got == 100
+
+    def test_multiset_chunk(self, env):
+        state, factory, _ = env
+        scheme = factory.ashe("x__ashe")
+        values = np.array([7, 8], dtype=np.int64)
+        cipher = scheme.encrypt_column(values, start_id=0)
+        # Row 0 counted twice, row 1 once: a join-replicated collection.
+        total = int(cipher[0]) * 2 + int(cipher[1])
+        chunk = encode_multiset(np.array([0, 0, 1], dtype=np.uint64))
+        module = DecryptionModule(state, factory)
+        agg = srv.AsheSum("x__ashe", "a", multiset=True)
+        got = module._decrypt_payload(("ashe", total & (2**64 - 1), [chunk], True), agg)
+        assert got == 7 * 2 + 8
+
+    def test_none_payload(self, env):
+        state, factory, _ = env
+        module = DecryptionModule(state, factory)
+        assert module._decrypt_payload(None, srv.AsheSum("x__ashe", "a")) is None
+
+    def test_plain_payload(self, env):
+        state, factory, _ = env
+        module = DecryptionModule(state, factory)
+        assert module._decrypt_payload(("plain", 42), srv.PlainAgg("x", "sum", "a")) == 42
+
+    def test_paillier_without_scheme_rejected(self, env):
+        state, factory, _ = env
+        module = DecryptionModule(state, factory, paillier=None)
+        with pytest.raises(DecryptionError, match="paillier"):
+            module._decrypt_payload(("paillier", 123), srv.PaillierSum("c", "a", 99))
+
+    def test_unknown_tag_rejected(self, env):
+        state, factory, _ = env
+        module = DecryptionModule(state, factory)
+        with pytest.raises(DecryptionError, match="unknown payload"):
+            module._decrypt_payload(("mystery", 1), srv.PlainAgg("x", "sum", "a"))
+
+    def test_count_from_payload(self, env):
+        state, factory, _ = env
+        module = DecryptionModule(state, factory)
+        codec = get_codec("seabed")
+        chunk = codec.encode(IdList.from_range(5, 15))
+        assert module._count_from_payload(("ashe", 0, [chunk], False)) == 10
+        assert module._count_from_payload(None) == 0
+
+    def test_count_requires_ashe(self, env):
+        state, factory, _ = env
+        module = DecryptionModule(state, factory)
+        with pytest.raises(DecryptionError, match="ASHE payload"):
+            module._count_from_payload(("plain", 3))
+
+
+class TestResponseValidation:
+    def test_response_count_mismatch(self, env):
+        state, factory, translator = env
+        module = DecryptionModule(state, factory)
+        tq = translator.translate(parse_query("SELECT sum(x) FROM t"))
+        with pytest.raises(DecryptionError, match="expected 1 responses"):
+            module.decrypt(tq, [])
+
+    def test_group_key_det_decode(self, env):
+        state, factory, translator = env
+        tq = translator.translate(
+            parse_query("SELECT g, sum(x) FROM t GROUP BY g")
+        )
+        module = DecryptionModule(state, factory)
+        det = factory.det("g__det")
+        assert module._decode_group_key(tq, det.encrypt_one(3)) == 3

@@ -1,0 +1,176 @@
+"""Tests for the data planner (repro.core.planner)."""
+
+import pytest
+
+from repro.core.planner import Planner, analyze_usage
+from repro.core.schema import ColumnSpec, TableSchema
+from repro.errors import PlanningError
+from repro.query.parser import parse_query
+
+
+def schema_with_stats() -> TableSchema:
+    return TableSchema("t", [
+        ColumnSpec("revenue", dtype="int", sensitive=True),
+        ColumnSpec("clicks", dtype="int", sensitive=True),
+        ColumnSpec("country", dtype="str", sensitive=True,
+                   distinct_values=["us", "ca", "in", "uk"],
+                   value_counts={"us": 500, "ca": 400, "in": 60, "uk": 40}),
+        ColumnSpec("gender", dtype="str", sensitive=True,
+                   distinct_values=["m", "f"]),
+        ColumnSpec("ts", dtype="int", sensitive=True, nbits=32),
+        ColumnSpec("publisher", dtype="str", sensitive=True),
+        ColumnSpec("region", dtype="str", sensitive=False),
+    ])
+
+
+SAMPLES = [
+    "SELECT sum(revenue) FROM t WHERE country = 'us'",
+    "SELECT var(clicks) FROM t WHERE gender = 'f'",
+    "SELECT sum(revenue) FROM t WHERE ts > 100",
+    "SELECT sum(clicks) FROM t JOIN u ON publisher = site",
+    "SELECT sum(revenue) FROM t WHERE region = 'emea'",
+]
+
+
+def plan(mode="seabed", budget=None):
+    planner = Planner(mode=mode)
+    queries = [parse_query(q) for q in SAMPLES]
+    return planner.plan(schema_with_stats(), queries, storage_budget=budget)
+
+
+class TestUsageAnalysis:
+    def test_measures_and_dimensions(self):
+        usages = analyze_usage([parse_query(q) for q in SAMPLES])
+        assert usages["revenue"].is_measure and not usages["revenue"].is_dimension
+        assert usages["country"].is_dimension
+        assert usages["ts"].predicate_kinds == {"range"}
+        assert usages["publisher"].joined
+        assert "var" in usages["clicks"].aggregates
+
+    def test_group_by_marks_dimension(self):
+        usages = analyze_usage([parse_query("SELECT a, sum(b) FROM t GROUP BY a")])
+        assert usages["a"].grouped and usages["a"].is_dimension
+
+
+class TestSeabedSchemeSelection:
+    def test_linear_measure_gets_ashe(self):
+        enc, _ = plan()
+        assert enc.plan("revenue").kind == "ashe"
+
+    def test_quadratic_measure_gets_squares_column(self):
+        enc, _ = plan()
+        assert enc.plan("clicks").squares_column is not None
+
+    def test_linear_measure_has_no_squares(self):
+        enc, _ = plan()
+        assert enc.plan("revenue").squares_column is None
+
+    def test_known_distribution_gets_enhanced_splashe(self):
+        enc, report = plan()
+        assert enc.plan("country").kind == "splashe_enhanced"
+        decision = next(d for d in report.splashe_decisions if d.column == "country")
+        assert decision.chosen == "enhanced"
+        assert decision.k is not None and 1 <= decision.k <= 2
+
+    def test_domain_without_counts_gets_basic_splashe(self):
+        enc, _ = plan()
+        assert enc.plan("gender").kind == "splashe_basic"
+
+    def test_range_dimension_gets_ore(self):
+        enc, _ = plan()
+        assert enc.plan("ts").kind == "ore"
+
+    def test_join_dimension_gets_det_with_warning(self):
+        enc, _ = plan()
+        assert enc.plan("publisher").kind == "det"
+        assert any("join" in w for w in enc.warnings)
+
+    def test_public_column_stays_plain(self):
+        enc, _ = plan()
+        assert enc.plan("region").kind == "plain"
+
+    def test_splashe_measures_limited_to_cooccurring(self):
+        """Only measures queried together with a dimension are splayed."""
+        enc, _ = plan()
+        country = enc.plan("country")
+        assert set(country.measure_columns) == {"revenue"}
+        gender = enc.plan("gender")
+        assert set(gender.measure_columns) == {"clicks"}
+
+    def test_sensitive_unused_column_warned_and_protected(self):
+        schema = TableSchema("t", [
+            ColumnSpec("secret", dtype="int", sensitive=True),
+            ColumnSpec("a", dtype="int", sensitive=True),
+        ])
+        enc, _ = Planner().plan(schema, [parse_query("SELECT sum(a) FROM t")])
+        assert enc.plan("secret").kind == "ashe"
+        assert any("unused" in w for w in enc.warnings)
+
+
+class TestStorageBudget:
+    def test_budget_prioritises_low_cardinality(self):
+        # Budget so tight only the 2-value dimension fits.
+        enc, report = plan(budget=2.5)
+        assert enc.plan("gender").kind == "splashe_basic"
+        assert enc.plan("country").kind == "det"
+        assert any("exceeds remaining budget" in w for w in enc.warnings)
+
+    def test_generous_budget_splays_everything(self):
+        enc, _ = plan(budget=100.0)
+        assert enc.plan("gender").kind.startswith("splashe")
+        assert enc.plan("country").kind.startswith("splashe")
+
+
+class TestBaselineModes:
+    def test_paillier_mode(self):
+        enc, _ = plan(mode="paillier")
+        assert enc.plan("revenue").kind == "paillier"
+        assert enc.plan("clicks").squares_column is not None
+        # No SPLASHE in the baseline: DET instead.
+        assert enc.plan("country").kind == "det"
+        assert enc.plan("ts").kind == "ore"
+
+    def test_plain_mode(self):
+        enc, _ = plan(mode="plain")
+        assert all(p.kind == "plain" for p in enc.plans.values())
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(PlanningError, match="unknown planner mode"):
+            Planner(mode="rot13")
+
+
+class TestMeasureFilterCompanions:
+    def test_range_filtered_measure_gets_ore_column(self):
+        schema = TableSchema("t", [ColumnSpec("x", dtype="int", sensitive=True)])
+        enc, _ = Planner().plan(schema, [
+            parse_query("SELECT sum(x) FROM t WHERE x > 5"),
+        ])
+        assert enc.plan("x").kind == "ashe"
+        assert enc.plan("x").ore_column is not None
+
+    def test_minmax_measure_gets_ore_column(self):
+        schema = TableSchema("t", [ColumnSpec("x", dtype="int", sensitive=True)])
+        enc, _ = Planner().plan(schema, [parse_query("SELECT min(x) FROM t")])
+        assert enc.plan("x").ore_column is not None
+
+    def test_equality_filtered_measure_gets_det_column(self):
+        schema = TableSchema("t", [ColumnSpec("x", dtype="int", sensitive=True)])
+        enc, _ = Planner().plan(schema, [
+            parse_query("SELECT sum(x) FROM t WHERE x = 5"),
+        ])
+        assert enc.plan("x").det_column is not None
+
+
+class TestValidation:
+    def test_string_measure_rejected(self):
+        schema = TableSchema("t", [ColumnSpec("s", dtype="str", sensitive=True)])
+        with pytest.raises(PlanningError, match="integer-typed"):
+            Planner().plan(schema, [parse_query("SELECT sum(s) FROM t")])
+
+    def test_string_range_dimension_rejected(self):
+        schema = TableSchema("t", [
+            ColumnSpec("s", dtype="str", sensitive=True),
+            ColumnSpec("x", dtype="int", sensitive=True),
+        ])
+        with pytest.raises(PlanningError, match="non-integer"):
+            Planner().plan(schema, [parse_query("SELECT sum(x) FROM t WHERE s > 'a'")])

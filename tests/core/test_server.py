@@ -1,0 +1,270 @@
+"""Tests for the untrusted server's physical operators (repro.core.server).
+
+These operate on raw ciphertext-free columns (plain ints) or synthetic
+ciphertexts, checking filter/aggregate/group mechanics in isolation; the
+full encrypted pipeline is covered by the integration tests.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import server as srv
+from repro.crypto.ashe import AsheScheme
+from repro.crypto.ore import OreScheme
+from repro.crypto.prf import SplitMix64Prf
+from repro.engine.cluster import ClusterConfig, SimulatedCluster
+from repro.engine.table import Table
+from repro.errors import ExecutionError
+from repro.idlist.codec import decode as codec_decode
+
+KEY = b"0123456789abcdef0123456789abcdef"
+
+
+@pytest.fixture
+def cluster() -> SimulatedCluster:
+    return SimulatedCluster(ClusterConfig(cores=4, task_startup_s=0.0, job_startup_s=0.0))
+
+
+def make_server(cluster, columns, parts=4) -> srv.SeabedServer:
+    server = srv.SeabedServer(cluster)
+    server.register(Table.from_columns("t", columns, num_partitions=parts))
+    return server
+
+
+class TestFilters:
+    def test_plain_cmp(self):
+        cols = {"a": np.array([1, 5, 9])}
+        mask = srv.eval_filter(cols, srv.PlainCmp("a", ">", 4), 3)
+        assert mask.tolist() == [False, True, True]
+
+    def test_det_eq_and_negate(self):
+        cols = {"d": np.array([7, 8, 7], dtype=np.uint64)}
+        assert srv.eval_filter(cols, srv.DetEq("d", 7), 3).tolist() == [True, False, True]
+        assert srv.eval_filter(cols, srv.DetEq("d", 7, negate=True), 3).tolist() == [
+            False, True, False,
+        ]
+
+    def test_det_in(self):
+        cols = {"d": np.array([1, 2, 3], dtype=np.uint64)}
+        mask = srv.eval_filter(cols, srv.DetIn("d", (1, 3)), 3)
+        assert mask.tolist() == [True, False, True]
+
+    def test_ore_cmp(self):
+        ore = OreScheme(KEY, nbits=16)
+        cols = {"o": ore.encrypt_column(np.array([5, 10, 15]))}
+        mask = srv.eval_filter(cols, srv.OreCmp("o", ">", ore.token(7), 16), 3)
+        assert mask.tolist() == [False, True, True]
+
+    def test_boolean_combinators(self):
+        cols = {"a": np.array([1, 2, 3, 4])}
+        expr = srv.FilterAnd((
+            srv.PlainCmp("a", ">", 1),
+            srv.FilterNot(srv.PlainCmp("a", "=", 3)),
+        ))
+        assert srv.eval_filter(cols, expr, 4).tolist() == [False, True, False, True]
+        expr = srv.FilterOr((srv.PlainCmp("a", "=", 1), srv.PlainCmp("a", "=", 4)))
+        assert srv.eval_filter(cols, expr, 4).tolist() == [True, False, False, True]
+
+    def test_none_means_select_all(self):
+        assert srv.eval_filter({"a": np.array([1])}, None, 1) is None
+
+
+class TestFlatAggregation:
+    def test_plain_sum_and_count(self, cluster):
+        server = make_server(cluster, {"v": np.arange(100, dtype=np.int64)})
+        q = srv.ServerQuery(table="t", aggs=(
+            srv.PlainAgg("v", "sum", "s"), srv.PlainAgg(None, "count", "c"),
+        ))
+        resp = server.execute(q)
+        assert resp.flat["s"] == ("plain", 4950)
+        assert resp.flat["c"] == ("plain", 100)
+
+    def test_plain_min_max_sumsq_median(self, cluster):
+        server = make_server(cluster, {"v": np.array([3, 1, 4, 1, 5], dtype=np.int64)})
+        q = srv.ServerQuery(table="t", aggs=(
+            srv.PlainAgg("v", "min", "lo"), srv.PlainAgg("v", "max", "hi"),
+            srv.PlainAgg("v", "sumsq", "sq"), srv.PlainAgg("v", "median", "md"),
+        ))
+        resp = server.execute(q)
+        assert resp.flat["lo"][1] == 1 and resp.flat["hi"][1] == 5
+        assert resp.flat["sq"][1] == 9 + 1 + 16 + 1 + 25
+        assert resp.flat["md"][1] == 3.0
+
+    def test_ashe_sum_round_trip(self, cluster):
+        scheme = AsheScheme(SplitMix64Prf(KEY))
+        values = np.arange(200, dtype=np.int64)
+        enc = scheme.encrypt_column(values, start_id=0)
+        server = make_server(cluster, {"v__ashe": enc, "f": values})
+        q = srv.ServerQuery(
+            table="t",
+            aggs=(srv.AsheSum("v__ashe", "s"),),
+            filter=srv.PlainCmp("f", "<", 50),
+        )
+        resp = server.execute(q)
+        tag, total, chunks, multiset = resp.flat["s"]
+        assert tag == "ashe" and not multiset
+        ids = [codec_decode(c) for c in chunks]
+        combined = ids[0]
+        for extra in ids[1:]:
+            combined = combined.union(extra)
+        assert scheme.decrypt_sum(
+            (total + scheme.pad_for(combined) - scheme.pad_for(combined)) & (2**64 - 1),
+            combined,
+        ) == values[:50].sum()
+
+    def test_empty_selection_returns_none(self, cluster):
+        server = make_server(cluster, {"v": np.arange(10, dtype=np.int64)})
+        q = srv.ServerQuery(
+            table="t", aggs=(srv.PlainAgg("v", "sum", "s"),),
+            filter=srv.PlainCmp("v", ">", 999),
+        )
+        assert server.execute(q).flat["s"] is None
+
+    def test_driver_compression_matches_worker(self, cluster):
+        scheme = AsheScheme(SplitMix64Prf(KEY))
+        values = np.arange(100, dtype=np.int64)
+        enc = scheme.encrypt_column(values, start_id=0)
+        server = make_server(cluster, {"v__ashe": enc})
+        for site in ("worker", "driver"):
+            q = srv.ServerQuery(
+                table="t", aggs=(srv.AsheSum("v__ashe", "s"),), compress_at=site
+            )
+            tag, total, chunks, _ = server.execute(q).flat["s"]
+            ids = codec_decode(chunks[0]) if len(chunks) == 1 else None
+            if site == "driver":
+                # Driver mode unions to a single chunk spanning the table.
+                assert len(chunks) == 1
+                assert ids.count() == 100
+
+    def test_metrics_populated(self, cluster):
+        server = make_server(cluster, {"v": np.arange(10, dtype=np.int64)})
+        resp = server.execute(
+            srv.ServerQuery(table="t", aggs=(srv.PlainAgg("v", "sum", "s"),))
+        )
+        assert resp.metrics.server_time > 0
+        assert resp.payload_bytes > 0
+        assert resp.metrics.result_bytes == resp.payload_bytes
+
+    def test_unknown_table(self, cluster):
+        server = srv.SeabedServer(cluster)
+        with pytest.raises(ExecutionError, match="no table"):
+            server.execute(srv.ServerQuery(table="zzz", aggs=()))
+
+
+class TestOreExtremes:
+    def test_min_max_payload(self, cluster):
+        ore = OreScheme(KEY, nbits=16)
+        values = np.array([30, 5, 80, 42], dtype=np.int64)
+        cols = {
+            "o": ore.encrypt_column(values),
+            "p": values.astype(np.uint64),  # payload stand-in
+        }
+        server = make_server(cluster, cols, parts=2)
+        q = srv.ServerQuery(table="t", aggs=(
+            srv.OreExtreme("min", "o", "p", "lo"),
+            srv.OreExtreme("max", "o", "p", "hi"),
+        ))
+        resp = server.execute(q)
+        assert resp.flat["lo"][1] == 5
+        assert resp.flat["hi"][1] == 80
+        assert resp.flat["hi"][2] == 2  # row id of the max
+
+    def test_median_quickselect(self, cluster):
+        ore = OreScheme(KEY, nbits=16)
+        values = np.array([9, 1, 5, 7, 3], dtype=np.int64)
+        cols = {"o": ore.encrypt_column(values), "p": values.astype(np.uint64)}
+        server = make_server(cluster, cols, parts=2)
+        q = srv.ServerQuery(table="t", aggs=(srv.OreMedian("o", "p", "md"),))
+        assert server.execute(q).flat["md"][1] == 5
+
+    def test_median_with_duplicates_terminates(self, cluster):
+        ore = OreScheme(KEY, nbits=16)
+        values = np.array([4, 4, 4, 4, 4, 4], dtype=np.int64)
+        cols = {"o": ore.encrypt_column(values), "p": values.astype(np.uint64)}
+        server = make_server(cluster, cols, parts=2)
+        q = srv.ServerQuery(table="t", aggs=(srv.OreMedian("o", "p", "md"),))
+        assert server.execute(q).flat["md"][1] == 4
+
+
+class TestGroupBy:
+    def test_plain_grouped_sums(self, cluster):
+        keys = np.array([0, 1, 0, 1, 2], dtype=np.int64)
+        vals = np.array([10, 20, 30, 40, 50], dtype=np.int64)
+        server = make_server(cluster, {"k": keys, "v": vals}, parts=2)
+        q = srv.ServerQuery(
+            table="t", aggs=(srv.PlainAgg("v", "sum", "s"),), group_by="k"
+        )
+        resp = server.execute(q)
+        assert resp.kind == "grouped"
+        totals = {}
+        for key, _suffix, payloads in resp.groups:
+            totals[key] = totals.get(key, 0) + payloads["s"][1]
+        assert totals == {0: 40, 1: 60, 2: 50}
+
+    def test_inflation_multiplies_entries_but_preserves_sums(self, cluster):
+        keys = np.zeros(64, dtype=np.int64)
+        vals = np.ones(64, dtype=np.int64)
+        server = make_server(cluster, {"k": keys, "v": vals}, parts=2)
+        base = srv.ServerQuery(table="t", aggs=(srv.PlainAgg("v", "sum", "s"),),
+                               group_by="k", inflation=1)
+        inflated = srv.ServerQuery(table="t", aggs=(srv.PlainAgg("v", "sum", "s"),),
+                                   group_by="k", inflation=4)
+        r1 = server.execute(base)
+        r4 = server.execute(inflated)
+        assert len({(k, s) for k, s, _ in r1.groups}) == 1
+        assert len({(k, s) for k, s, _ in r4.groups}) == 4
+        assert sum(p["s"][1] for _, _, p in r1.groups) == 64
+        assert sum(p["s"][1] for _, _, p in r4.groups) == 64
+
+    def test_grouped_shuffle_accounted(self, cluster):
+        keys = np.arange(50, dtype=np.int64) % 5
+        vals = np.ones(50, dtype=np.int64)
+        server = make_server(cluster, {"k": keys, "v": vals}, parts=2)
+        resp = server.execute(srv.ServerQuery(
+            table="t", aggs=(srv.PlainAgg("v", "sum", "s"),), group_by="k"
+        ))
+        assert resp.metrics.shuffle_bytes > 0
+
+    def test_extreme_in_group_rejected(self, cluster):
+        ore = OreScheme(KEY, nbits=16)
+        vals = np.array([1, 2], dtype=np.int64)
+        cols = {"o": ore.encrypt_column(vals), "k": vals, "p": vals.astype(np.uint64)}
+        server = make_server(cluster, cols, parts=1)
+        q = srv.ServerQuery(
+            table="t", aggs=(srv.OreExtreme("min", "o", "p", "m"),), group_by="k"
+        )
+        with pytest.raises(ExecutionError, match="not supported inside GROUP BY"):
+            server.execute(q)
+
+
+class TestJoin:
+    def test_broadcast_join_with_multiset_ids(self, cluster):
+        scheme = AsheScheme(SplitMix64Prf(KEY))
+        build_vals = np.array([100, 200, 300], dtype=np.int64)
+        build = Table.from_columns("build", {
+            "key": np.array([0, 1, 2], dtype=np.uint64),
+            "payload__ashe": scheme.encrypt_column(build_vals, start_id=0),
+        }, num_partitions=1)
+        probe = Table.from_columns("probe", {
+            "fk": np.array([0, 0, 1, 2, 2, 2], dtype=np.uint64),
+        }, num_partitions=2)
+        server = srv.SeabedServer(cluster)
+        server.register(build)
+        server.register(probe)
+        q = srv.ServerQuery(
+            table="probe",
+            aggs=(srv.AsheSum("payload__ashe", "s", multiset=True),),
+            join=srv.ServerJoin(
+                build_table="build", probe_key_column="fk",
+                build_key_column="key", payload_columns=("payload__ashe",),
+            ),
+        )
+        resp = server.execute(q)
+        tag, total, chunks, multiset = resp.flat["s"]
+        assert multiset
+        from repro.idlist.codec import decode_multiset
+        pad = sum(scheme.pad_for_multiset(decode_multiset(c)) for c in chunks)
+        from repro.crypto.ashe import to_signed
+        got = to_signed((total + pad) & (2**64 - 1))
+        # 2x100 + 1x200 + 3x300 = 1300
+        assert got == 1300

@@ -1,0 +1,188 @@
+"""Tests for the SPLASHE transforms (repro.core.splashe)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import splashe
+from repro.errors import PlanningError
+
+
+class TestChooseK:
+    def test_paper_example_shape(self):
+        """Canadian company: 2 dominant countries among 196 (Section 3.4)."""
+        counts = [1000, 1000] + [5] * 194
+        k = splashe.choose_k(counts)
+        assert k <= 2
+
+    def test_uniform_distribution_needs_no_splay(self):
+        # All counts equal: k=0 works (zero padding needed).
+        assert splashe.choose_k([10, 10, 10, 10]) == 0
+
+    def test_mild_skew(self):
+        counts = [100, 90, 80, 70]
+        k = splashe.choose_k(counts)
+        # Check the defining inequality at the returned k.
+        threshold = splashe.padding_threshold(counts, k)
+        needed = sum(threshold - c for c in counts[k:])
+        assert sum(counts[:k]) >= needed
+
+    def test_k_is_minimal(self):
+        counts = [1000, 500, 400, 10, 8, 5, 2]
+        k = splashe.choose_k(counts)
+        for smaller in range(k):
+            threshold = splashe.padding_threshold(counts, smaller)
+            needed = sum(threshold - c for c in counts[smaller:])
+            assert sum(counts[:smaller]) < needed
+
+    def test_always_exists(self):
+        for counts in ([1], [5, 4, 3, 2, 1], [100] + [0] * 9, [0, 0, 0]):
+            k = splashe.choose_k(sorted(counts, reverse=True))
+            assert 0 <= k <= len(counts)
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(PlanningError, match="sorted"):
+            splashe.choose_k([1, 2, 3])
+
+    def test_negative_rejected(self):
+        with pytest.raises(PlanningError, match="negative"):
+            splashe.choose_k([5, -1])
+
+    @given(counts=st.lists(st.integers(min_value=0, max_value=10_000),
+                           min_size=1, max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_property_inequality_holds(self, counts):
+        counts = sorted(counts, reverse=True)
+        k = splashe.choose_k(counts)
+        threshold = splashe.padding_threshold(counts, k)
+        needed = sum(threshold - c for c in counts[k:])
+        assert sum(counts[:k]) >= needed
+
+
+class TestBalanceDetCodes:
+    def test_balances_infrequent_frequencies(self):
+        rng = np.random.default_rng(0)
+        # value 0 frequent (60 rows), values 1..3 infrequent (uneven).
+        codes = np.array([0] * 60 + [1] * 10 + [2] * 4 + [3] * 1)
+        rng.shuffle(codes)
+        det = splashe.balance_det_codes(codes, [0], 4, rng)
+        counts = np.bincount(det, minlength=4)
+        assert counts[0] == 0  # frequent value never appears in DET
+        infrequent = counts[1:]
+        assert infrequent.max() - infrequent.min() <= 1  # near-uniform
+
+    def test_infrequent_rows_keep_their_code(self):
+        rng = np.random.default_rng(1)
+        codes = np.array([0] * 20 + [1] * 3 + [2] * 2)
+        det = splashe.balance_det_codes(codes, [0], 3, rng)
+        infrequent_positions = np.flatnonzero(codes != 0)
+        assert np.array_equal(det[infrequent_positions], codes[infrequent_positions])
+
+    def test_paper_figure4_example(self):
+        """USA/Canada frequent; six dummy cells balance the six infrequent
+        countries (Figure 4 uses exactly this shape)."""
+        rng = np.random.default_rng(2)
+        # codes: 0=USA, 1=Canada (3 each); 2..7 infrequent (1 each)
+        codes = np.array([0, 0, 1, 0, 1, 1, 2, 3, 4, 5, 6, 7])
+        det = splashe.balance_det_codes(codes, [0, 1], 8, rng)
+        det_counts = np.bincount(det, minlength=8)
+        assert det_counts[0] == det_counts[1] == 0
+        assert det_counts[2:].max() - det_counts[2:].min() <= 1
+
+    def test_insufficient_dummies_rejected(self):
+        rng = np.random.default_rng(3)
+        # frequent value has only 1 row; infrequent counts are wildly uneven
+        codes = np.array([0] + [1] * 50 + [2] * 1)
+        with pytest.raises(PlanningError, match="cannot balance"):
+            splashe.balance_det_codes(codes, [0], 3, rng)
+
+    def test_no_infrequent_values(self):
+        rng = np.random.default_rng(4)
+        codes = np.array([0, 1, 0, 1])
+        det = splashe.balance_det_codes(codes, [0, 1], 2, rng)
+        assert det.shape == codes.shape  # filled with random codes, no crash
+
+    def test_out_of_range_codes_rejected(self):
+        rng = np.random.default_rng(5)
+        with pytest.raises(PlanningError, match="out of range"):
+            splashe.balance_det_codes(np.array([0, 9]), [0], 3, rng)
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_property_uniformity(self, seed):
+        rng = np.random.default_rng(seed)
+        codes = np.concatenate([
+            np.zeros(100, dtype=np.int64),
+            rng.integers(1, 5, 40),
+        ])
+        rng.shuffle(codes)
+        det = splashe.balance_det_codes(codes, [0], 5, rng)
+        counts = np.bincount(det, minlength=5)[1:]
+        assert counts.max() - counts.min() <= 1
+
+
+class TestSplayTransforms:
+    def test_basic_indicators(self):
+        codes = np.array([0, 1, 1, 2])
+        ind = splashe.splay_indicators(codes, 3)
+        assert ind[0].tolist() == [1, 0, 0, 0]
+        assert ind[1].tolist() == [0, 1, 1, 0]
+        assert ind[2].tolist() == [0, 0, 0, 1]
+
+    def test_basic_measure_figure3(self):
+        """Figure 3: gender x salary."""
+        codes = np.array([0, 1, 1])  # male, female, female
+        salary = np.array([1000, 2000, 200])
+        splayed = splashe.splay_measure(codes, salary, 2)
+        assert splayed[0].tolist() == [1000, 0, 0]
+        assert splayed[1].tolist() == [0, 2000, 200]
+
+    def test_measure_length_mismatch(self):
+        with pytest.raises(PlanningError, match="length"):
+            splashe.splay_measure(np.array([0]), np.array([1, 2]), 2)
+
+    def test_enhanced_indicators(self):
+        codes = np.array([0, 1, 2, 0, 3])
+        per_freq, others = splashe.splay_enhanced_indicators(codes, [0], 4)
+        assert per_freq[0].tolist() == [1, 0, 0, 1, 0]
+        assert others.tolist() == [0, 1, 1, 0, 1]
+
+    def test_enhanced_measure(self):
+        codes = np.array([0, 1, 2, 0])
+        values = np.array([10, 20, 30, 40])
+        per_freq, others = splashe.splay_enhanced_measure(codes, values, [0], 3)
+        assert per_freq[0].tolist() == [10, 0, 0, 40]
+        assert others.tolist() == [0, 20, 30, 0]
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=50, deadline=None)
+    def test_property_splay_preserves_sums(self, seed):
+        """Sum of each splayed column equals the per-value plaintext sum --
+        the correctness invariant behind the SPLASHE rewrite."""
+        rng = np.random.default_rng(seed)
+        d = int(rng.integers(2, 6))
+        n = int(rng.integers(1, 60))
+        codes = rng.integers(0, d, n)
+        values = rng.integers(-100, 100, n)
+        splayed = splashe.splay_measure(codes, values, d)
+        for v in range(d):
+            assert splayed[v].sum() == values[codes == v].sum()
+        per_freq, others = splashe.splay_enhanced_measure(codes, values, [0], d)
+        assert per_freq[0].sum() == values[codes == 0].sum()
+        assert others.sum() == values[codes != 0].sum()
+
+
+class TestStorageModel:
+    def test_basic_factor_is_cardinality(self):
+        # d indicators + d*m measures over (1 + m) original columns = d.
+        assert splashe.storage_overhead_factor(10, 3, k=None) == pytest.approx(10.0)
+
+    def test_enhanced_smaller_than_basic_for_skew(self):
+        basic = splashe.storage_overhead_factor(196, 2, k=None)
+        enhanced = splashe.storage_overhead_factor(196, 2, k=2)
+        assert enhanced < basic / 10
+
+    def test_enhanced_adds_det_column(self):
+        cells = splashe.enhanced_storage_cells(k=2, num_measures=1)
+        assert cells == (2 + 1) * 2 + 1

@@ -1,0 +1,84 @@
+"""Tests for the from-scratch AES-128 (repro.crypto.aes).
+
+Validated against the FIPS-197 appendix example and the NIST SP 800-38A
+counter-mode vectors.
+"""
+
+import pytest
+
+from repro.crypto.aes import Aes128, ctr_encrypt, ctr_keystream
+from repro.errors import CryptoError
+
+
+class TestFips197Vectors:
+    def test_appendix_b_example(self):
+        aes = Aes128(bytes.fromhex("000102030405060708090a0b0c0d0e0f"))
+        ct = aes.encrypt_block(bytes.fromhex("00112233445566778899aabbccddeeff"))
+        assert ct.hex() == "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+    def test_appendix_a_key_schedule_last_round(self):
+        # FIPS-197 A.1: last round key for 2b7e...4f3c is d014f9a8c9ee2589e13f0cc8b6630ca6
+        aes = Aes128(bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c"))
+        assert bytes(aes._round_keys[10]).hex() == "d014f9a8c9ee2589e13f0cc8b6630ca6"
+
+    def test_all_zero_key_and_block(self):
+        # Well-known vector: AES-128(0^16, 0^16)
+        aes = Aes128(bytes(16))
+        assert aes.encrypt_block(bytes(16)).hex() == "66e94bd4ef8a2c3b884cfa59ca342b2e"
+
+
+class TestSp80038aCtr:
+    KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    CTR0 = int.from_bytes(bytes.fromhex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff"), "big")
+    BLOCKS_PT = [
+        "6bc1bee22e409f96e93d7e117393172a",
+        "ae2d8a571e03ac9c9eb76fac45af8e51",
+        "30c81c46a35ce411e5fbc1191a0a52ef",
+        "f69f2445df4f9b17ad2b417be66c3710",
+    ]
+    BLOCKS_CT = [
+        "874d6191b620e3261bef6864990db6ce",
+        "9806f66b7970fdff8617187bb9fffdff",
+        "5ae4df3edbd5d35e5b4f09020db03eab",
+        "1e031dda2fbe03d1792170a0f3009cee",
+    ]
+
+    def test_four_block_message(self):
+        pt = bytes.fromhex("".join(self.BLOCKS_PT))
+        ct = ctr_encrypt(self.KEY, self.CTR0, pt)
+        assert ct.hex() == "".join(self.BLOCKS_CT)
+
+    def test_ctr_is_symmetric(self):
+        pt = b"seabed reproduction payload!"
+        ct = ctr_encrypt(self.KEY, self.CTR0, pt)
+        assert ctr_encrypt(self.KEY, self.CTR0, ct) == pt
+
+    def test_keystream_length(self):
+        assert len(ctr_keystream(self.KEY, 0, 5)) == 80
+
+    def test_counter_wraps_at_128_bits(self):
+        top = (1 << 128) - 1
+        stream = ctr_keystream(self.KEY, top, 2)
+        aes = Aes128(self.KEY)
+        assert stream[:16] == aes.encrypt_block(top.to_bytes(16, "big"))
+        assert stream[16:] == aes.encrypt_block(bytes(16))
+
+
+class TestValidation:
+    def test_bad_key_length(self):
+        with pytest.raises(CryptoError, match="16 bytes"):
+            Aes128(b"tooshort")
+
+    def test_bad_block_length(self):
+        with pytest.raises(CryptoError, match="16 bytes"):
+            Aes128(bytes(16)).encrypt_block(b"short")
+
+    def test_deterministic(self):
+        aes = Aes128(bytes(range(16)))
+        block = bytes(range(16))
+        assert aes.encrypt_block(block) == aes.encrypt_block(block)
+
+    def test_blocks_differ_across_inputs(self):
+        aes = Aes128(bytes(range(16)))
+        outs = {aes.encrypt_block(i.to_bytes(16, "big")) for i in range(32)}
+        assert len(outs) == 32

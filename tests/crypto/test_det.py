@@ -1,0 +1,136 @@
+"""Tests for DET (repro.crypto.det): PRP round-trip, determinism,
+the equality leakage that motivates SPLASHE, and dictionary encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.det import DetScheme, DictionaryEncoder
+from repro.errors import CryptoError
+
+KEY = b"0123456789abcdef0123456789abcdef"
+
+u64 = st.integers(min_value=0, max_value=2**64 - 1)
+
+
+@pytest.fixture(params=["fast", "blake2"])
+def det(request) -> DetScheme:
+    return DetScheme(KEY, backend=request.param)
+
+
+class TestPrpRoundTrip:
+    def test_scalar(self, det):
+        for m in [0, 1, 2**32, 2**63, 2**64 - 1]:
+            assert det.decrypt_one(det.encrypt_one(m)) == m
+
+    def test_column(self, det):
+        values = np.array([0, 5, 5, 7, 2**40], dtype=np.int64)
+        cipher = det.encrypt_column(values)
+        assert det.decrypt_column(cipher).tolist() == values.tolist()
+
+    def test_column_matches_scalar(self, det):
+        values = np.arange(16)
+        cipher = det.encrypt_column(values)
+        for j, v in enumerate(values.tolist()):
+            assert int(cipher[j]) == det.encrypt_one(v)
+
+    @given(m=u64)
+    @settings(max_examples=100, deadline=None)
+    def test_property_bijection(self, m):
+        det = DetScheme(KEY)
+        assert det.decrypt_one(det.encrypt_one(m)) == m
+
+
+class TestDeterminismAndLeakage:
+    def test_equal_plaintexts_equal_ciphertexts(self, det):
+        assert det.encrypt_one(42) == det.encrypt_one(42)
+
+    def test_token_matches_column(self, det):
+        col = det.encrypt_column(np.array([1, 2, 3, 2]))
+        token = det.token(2)
+        mask = col == np.uint64(token)
+        assert mask.tolist() == [False, True, False, True]
+
+    def test_frequency_is_visible(self, det):
+        """DET leaks the histogram -- the very weakness SPLASHE removes."""
+        values = np.array([0] * 70 + [1] * 30)
+        cipher = det.encrypt_column(values)
+        _, counts = np.unique(cipher, return_counts=True)
+        assert sorted(counts.tolist()) == [30, 70]
+
+    def test_key_separation(self):
+        a = DetScheme(KEY)
+        b = DetScheme(b"fedcba9876543210fedcba9876543210")
+        assert a.encrypt_one(7) != b.encrypt_one(7)
+
+    def test_no_fixed_points_in_small_range(self, det):
+        # A random permutation of 2^64 elements has ~0 fixed points in any
+        # small sample.
+        hits = sum(det.encrypt_one(m) == m for m in range(512))
+        assert hits == 0
+
+
+class TestBackendsAgreeOnStructure:
+    def test_backends_are_both_permutations_but_differ(self):
+        fast = DetScheme(KEY, backend="fast")
+        blake = DetScheme(KEY, backend="blake2")
+        values = list(range(64))
+        enc_fast = [fast.encrypt_one(v) for v in values]
+        enc_blake = [blake.encrypt_one(v) for v in values]
+        assert len(set(enc_fast)) == 64
+        assert len(set(enc_blake)) == 64
+        assert enc_fast != enc_blake
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(CryptoError, match="unknown DET backend"):
+            DetScheme(KEY, backend="rot13")
+
+    def test_short_key_rejected(self):
+        with pytest.raises(CryptoError, match="16 bytes"):
+            DetScheme(b"short")
+
+
+class TestDictionaryEncoder:
+    def test_first_seen_order(self):
+        enc = DictionaryEncoder()
+        codes = enc.encode_column(["ca", "us", "ca", "in"])
+        assert codes.tolist() == [0, 1, 0, 2]
+        assert enc.cardinality == 3
+
+    def test_decode_round_trip(self):
+        enc = DictionaryEncoder()
+        values = ["x", "y", "z", "y", "x"]
+        codes = enc.encode_column(values)
+        assert enc.decode_column(codes) == values
+
+    def test_lookup_known(self):
+        enc = DictionaryEncoder()
+        enc.encode_column(["a", "b"])
+        assert enc.lookup("b") == 1
+
+    def test_lookup_unknown_raises(self):
+        enc = DictionaryEncoder()
+        with pytest.raises(CryptoError, match="not present"):
+            enc.lookup("nope")
+
+    def test_bad_code_raises(self):
+        enc = DictionaryEncoder()
+        enc.code("a")
+        with pytest.raises(CryptoError, match="out of range"):
+            enc.value(5)
+
+    def test_shared_encoder_supports_joins(self):
+        """Join columns encoded with one dictionary produce equal codes."""
+        shared = DictionaryEncoder()
+        left = shared.encode_column(["url1", "url2"])
+        right = shared.encode_column(["url2", "url1", "url3"])
+        assert left[1] == right[0]
+        assert shared.known_values() == ["url1", "url2", "url3"]
+
+    @given(values=st.lists(st.text(max_size=8), max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_property_round_trip(self, values):
+        enc = DictionaryEncoder()
+        codes = enc.encode_column(values)
+        assert enc.decode_column(codes) == values

@@ -1,0 +1,51 @@
+"""Tests for the key chain (repro.crypto.keys)."""
+
+import pytest
+
+from repro.crypto.keys import KeyChain
+from repro.errors import CryptoError
+
+
+class TestDerivation:
+    def test_deterministic(self):
+        kc = KeyChain(b"m" * 32)
+        assert kc.derive("t", "c") == kc.derive("t", "c")
+
+    def test_label_separation(self):
+        kc = KeyChain(b"m" * 32)
+        assert kc.derive("t", "c1") != kc.derive("t", "c2")
+        assert kc.derive("a", "bc") != kc.derive("ab", "c")  # no concat ambiguity
+
+    def test_column_key_distinct_per_scheme(self):
+        kc = KeyChain(b"m" * 32)
+        assert kc.column_key("t", "c", "ashe") != kc.column_key("t", "c", "det")
+
+    def test_key_length(self):
+        assert len(KeyChain(b"m" * 32).derive("x")) == KeyChain.KEY_BYTES
+
+    def test_master_separation(self):
+        a, b = KeyChain(b"a" * 32), KeyChain(b"b" * 32)
+        assert a.derive("x") != b.derive("x")
+
+    def test_empty_labels_rejected(self):
+        with pytest.raises(CryptoError):
+            KeyChain(b"m" * 32).derive()
+
+    def test_short_master_rejected(self):
+        with pytest.raises(CryptoError, match="16 bytes"):
+            KeyChain(b"short")
+
+
+class TestGeneration:
+    def test_generate_is_random(self):
+        assert KeyChain.generate().derive("x") != KeyChain.generate().derive("x")
+
+    def test_passphrase_derivation_reproducible(self):
+        a = KeyChain.from_passphrase("hunter2")
+        b = KeyChain.from_passphrase("hunter2")
+        assert a.derive("x") == b.derive("x")
+
+    def test_passphrase_salt_matters(self):
+        a = KeyChain.from_passphrase("hunter2", salt=b"s1")
+        b = KeyChain.from_passphrase("hunter2", salt=b"s2")
+        assert a.derive("x") != b.derive("x")

@@ -1,0 +1,115 @@
+"""Tests for the Paillier baseline (repro.crypto.paillier)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.paillier import PaillierKeyPair, PaillierScheme, _is_probable_prime
+from random import Random
+
+KEYS = PaillierKeyPair.generate(bits=256, seed=42)
+
+
+@pytest.fixture(scope="module")
+def scheme() -> PaillierScheme:
+    return PaillierScheme(KEYS, seed=1)
+
+
+class TestKeyGeneration:
+    def test_modulus_size(self):
+        assert KEYS.n.bit_length() == 256
+        assert KEYS.ciphertext_bits == 512
+
+    def test_primes_multiply_to_n(self):
+        assert KEYS.p * KEYS.q == KEYS.n
+
+    def test_primality(self):
+        rng = Random(0)
+        assert _is_probable_prime(KEYS.p, rng)
+        assert _is_probable_prime(KEYS.q, rng)
+
+    def test_seeded_generation_reproducible(self):
+        again = PaillierKeyPair.generate(bits=256, seed=42)
+        assert again.n == KEYS.n
+
+    def test_distinct_seeds_distinct_keys(self):
+        other = PaillierKeyPair.generate(bits=256, seed=43)
+        assert other.n != KEYS.n
+
+
+class TestMillerRabin:
+    def test_small_primes(self):
+        rng = Random(0)
+        for p in (2, 3, 5, 7, 11, 101, 7919):
+            assert _is_probable_prime(p, rng)
+
+    def test_small_composites(self):
+        rng = Random(0)
+        for c in (1, 4, 9, 15, 561, 7917):  # 561 is a Carmichael number
+            assert not _is_probable_prime(c, rng)
+
+
+class TestEncryptDecrypt:
+    def test_round_trip(self, scheme):
+        for m in (0, 1, -1, 12345, -98765, 2**40):
+            assert scheme.decrypt(scheme.encrypt(m)) == m
+
+    def test_crt_matches_standard(self, scheme):
+        for m in (0, 7, -7, 123456789):
+            c = scheme.encrypt(m)
+            assert scheme.decrypt(c) == scheme.decrypt_crt(c)
+
+    def test_randomised(self, scheme):
+        assert scheme.encrypt(5) != scheme.encrypt(5)
+
+    def test_ciphertext_in_group(self, scheme):
+        c = scheme.encrypt(9)
+        assert 0 < c < scheme.n**2
+
+
+class TestHomomorphism:
+    def test_addition(self, scheme):
+        c = scheme.add(scheme.encrypt(20), scheme.encrypt(22))
+        assert scheme.decrypt(c) == 42
+
+    def test_addition_with_negatives(self, scheme):
+        c = scheme.add(scheme.encrypt(-50), scheme.encrypt(8))
+        assert scheme.decrypt(c) == -42
+
+    def test_add_plain(self, scheme):
+        assert scheme.decrypt(scheme.add_plain(scheme.encrypt(40), 2)) == 42
+
+    def test_mul_plain(self, scheme):
+        assert scheme.decrypt(scheme.mul_plain(scheme.encrypt(6), 7)) == 42
+
+    def test_column_aggregate(self, scheme):
+        values = np.array([5, -2, 9, 0, 11], dtype=np.int64)
+        cipher = scheme.encrypt_column(values)
+        total = scheme.aggregate(cipher)
+        assert scheme.decrypt(total) == 23
+
+    def test_masked_aggregate(self, scheme):
+        values = np.array([5, -2, 9], dtype=np.int64)
+        cipher = scheme.encrypt_column(values)
+        mask = np.array([True, False, True])
+        assert scheme.decrypt(scheme.aggregate(cipher, mask)) == 14
+
+    def test_empty_aggregate_is_identity(self, scheme):
+        cipher = scheme.encrypt_column(np.array([], dtype=np.int64))
+        assert scheme.decrypt_crt(scheme.aggregate(cipher) * scheme.encrypt(3)
+                                  % scheme.n ** 2) == 3
+
+    def test_zero_ciphertext(self, scheme):
+        z = scheme.zero_ciphertext()
+        c = scheme.add(z, scheme.encrypt(17))
+        assert scheme.decrypt(c) == 17
+
+
+@given(values=st.lists(st.integers(min_value=-(2**30), max_value=2**30),
+                       min_size=1, max_size=12))
+@settings(max_examples=25, deadline=None)
+def test_property_homomorphic_sum(values):
+    scheme = PaillierScheme(KEYS, seed=99)
+    cipher = scheme.encrypt_column(np.array(values, dtype=object))
+    assert scheme.decrypt(scheme.aggregate(cipher)) == sum(values)

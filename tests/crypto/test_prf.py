@@ -1,0 +1,138 @@
+"""Tests for the PRF backends (repro.crypto.prf)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.prf import (
+    MASK64,
+    AesCtrPrf,
+    Blake2Prf,
+    Prf,
+    SplitMix64Prf,
+    prf_from_name,
+)
+from repro.errors import CryptoError
+
+KEY = b"0123456789abcdef0123456789abcdef"
+OTHER_KEY = b"fedcba9876543210fedcba9876543210"
+
+BACKENDS = [Blake2Prf, SplitMix64Prf, AesCtrPrf]
+
+
+@pytest.fixture(params=BACKENDS, ids=lambda c: c.name)
+def prf(request) -> Prf:
+    return request.param(KEY)
+
+
+class TestDeterminism:
+    def test_same_input_same_output(self, prf):
+        assert prf.eval_one(42) == prf.eval_one(42)
+
+    def test_different_inputs_differ(self, prf):
+        outputs = {prf.eval_one(i) for i in range(256)}
+        assert len(outputs) == 256
+
+    def test_key_separation(self, prf):
+        other = type(prf)(OTHER_KEY)
+        same = sum(prf.eval_one(i) == other.eval_one(i) for i in range(64))
+        assert same == 0
+
+    def test_output_in_range(self, prf):
+        for i in [0, 1, 2**32, MASK64]:
+            assert 0 <= prf.eval_one(i) <= MASK64
+
+
+class TestVectorisedConsistency:
+    def test_eval_many_matches_eval_one(self, prf):
+        ids = np.array([0, 1, 5, 1000, 2**40, MASK64], dtype=np.uint64)
+        many = prf.eval_many(ids)
+        for idx, i in enumerate(ids.tolist()):
+            assert many[idx] == prf.eval_one(i)
+
+    def test_eval_range_matches_eval_one(self, prf):
+        out = prf.eval_range(100, 16)
+        for j in range(16):
+            assert out[j] == prf.eval_one(100 + j)
+
+    def test_eval_range_negative_start_wraps(self, prf):
+        out = prf.eval_range(-1, 2)
+        assert out[0] == prf.eval_one(MASK64)
+        assert out[1] == prf.eval_one(0)
+
+    def test_eval_range_empty(self, prf):
+        assert prf.eval_range(0, 0).size == 0
+
+    def test_eval_range_negative_count_rejected(self, prf):
+        with pytest.raises(CryptoError):
+            prf.eval_range(0, -1)
+
+
+class TestStatisticalQuality:
+    """The PRF output should look uniform; coarse chi-square style checks."""
+
+    @pytest.mark.parametrize("cls", [Blake2Prf, SplitMix64Prf])
+    def test_bit_balance(self, cls):
+        prf = cls(KEY)
+        outs = prf.eval_range(0, 4096)
+        bits = np.unpackbits(outs.view(np.uint8))
+        frac = bits.mean()
+        assert 0.48 < frac < 0.52
+
+    def test_splitmix_avalanche(self):
+        prf = SplitMix64Prf(KEY)
+        flips = []
+        for i in range(200):
+            a = prf.eval_one(i)
+            b = prf.eval_one(i ^ 1)
+            flips.append(bin(a ^ b).count("1"))
+        assert 24 < np.mean(flips) < 40  # expect ~32 of 64 bits
+
+
+class TestAesCtrPrfStructure:
+    def test_two_lanes_per_block(self):
+        """IDs 2k and 2k+1 come from the same AES block, different halves."""
+        from repro.crypto.aes import Aes128
+
+        prf = AesCtrPrf(KEY)
+        aes = Aes128(KEY[:16])
+        block = aes.encrypt_block((7).to_bytes(16, "big"))
+        assert prf.eval_one(14) == int.from_bytes(block[:8], "big")
+        assert prf.eval_one(15) == int.from_bytes(block[8:], "big")
+
+
+class TestFactory:
+    def test_known_names(self):
+        for name in ("blake2", "splitmix64", "aes-ctr"):
+            assert prf_from_name(name, KEY).eval_one(1) is not None
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(CryptoError, match="unknown PRF backend"):
+            prf_from_name("rot13", KEY)
+
+    def test_short_key_rejected(self):
+        with pytest.raises(CryptoError, match="at least 16 bytes"):
+            Blake2Prf(b"short")
+
+    def test_non_bytes_key_rejected(self):
+        with pytest.raises(CryptoError):
+            SplitMix64Prf("not-bytes")  # type: ignore[arg-type]
+
+
+@given(i=st.integers(min_value=0, max_value=MASK64))
+@settings(max_examples=50, deadline=None)
+def test_splitmix_scalar_matches_vector(i):
+    prf = SplitMix64Prf(KEY)
+    assert prf.eval_one(i) == int(prf.eval_many(np.array([i], dtype=np.uint64))[0])
+
+
+@given(
+    start=st.integers(min_value=-1, max_value=2**63),
+    count=st.integers(min_value=0, max_value=64),
+)
+@settings(max_examples=30, deadline=None)
+def test_splitmix_range_matches_many(start, count):
+    prf = SplitMix64Prf(KEY)
+    ids = (np.arange(count, dtype=np.uint64) + np.uint64(start & MASK64))
+    assert np.array_equal(prf.eval_range(start, count), prf.eval_many(ids))

@@ -1,0 +1,131 @@
+"""Tests for the simulated cluster (repro.engine.cluster)."""
+
+import pytest
+
+from repro.engine.cluster import ClusterConfig, SimulatedCluster, makespan
+from repro.errors import ExecutionError
+
+
+class TestMakespan:
+    def test_single_core_sums(self):
+        assert makespan([1.0, 2.0, 3.0], 1) == pytest.approx(6.0)
+
+    def test_enough_cores_is_max(self):
+        assert makespan([1.0, 2.0, 3.0], 3) == pytest.approx(3.0)
+
+    def test_two_cores_balances(self):
+        # FIFO least-loaded: [3] -> c0, [3] -> c1, [2] -> c0(3+2), [1] -> c1(4)
+        assert makespan([3.0, 3.0, 2.0, 1.0], 2) == pytest.approx(5.0)
+
+    def test_empty(self):
+        assert makespan([], 4) == 0.0
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ExecutionError, match="at least one core"):
+            makespan([1.0], 0)
+
+    def test_monotone_in_cores(self):
+        times = [0.5, 1.5, 0.2, 0.9, 2.2, 0.1] * 5
+        spans = [makespan(times, c) for c in (1, 2, 4, 8, 16)]
+        assert spans == sorted(spans, reverse=True)
+
+
+class TestStageExecution:
+    def test_results_in_order(self):
+        cluster = SimulatedCluster(ClusterConfig(cores=2))
+        results, stage = cluster.run_stage("s", [lambda i=i: i * i for i in range(5)])
+        assert results == [0, 1, 4, 9, 16]
+        assert stage.num_tasks == 5
+
+    def test_task_startup_included(self):
+        config = ClusterConfig(cores=1, task_startup_s=0.5)
+        cluster = SimulatedCluster(config)
+        _, stage = cluster.run_stage("s", [lambda: None, lambda: None])
+        assert stage.makespan >= 1.0
+
+    def test_metrics_accumulate(self):
+        cluster = SimulatedCluster(ClusterConfig(cores=2))
+        job = cluster.new_job()
+        cluster.run_stage("a", [lambda: 1], job)
+        cluster.run_stage("b", [lambda: 2], job)
+        assert [s.name for s in job.stages] == ["a", "b"]
+        assert job.server_time >= job.job_startup
+
+    def test_driver_work_counts_once(self):
+        cluster = SimulatedCluster(ClusterConfig(cores=8))
+        job = cluster.new_job()
+        out = cluster.run_driver("merge", lambda: 42, job)
+        assert out == 42
+        assert job.stage("merge").num_tasks == 1
+
+
+class TestStragglers:
+    def test_injection_inflates_makespan(self):
+        base = ClusterConfig(cores=4, task_startup_s=0.01, straggler_prob=0.0)
+        slow = ClusterConfig(
+            cores=4, task_startup_s=0.01, straggler_prob=1.0, straggler_factor=10.0
+        )
+        tasks = [lambda: sum(range(1000)) for _ in range(8)]
+        _, clean = SimulatedCluster(base).run_stage("s", list(tasks))
+        _, straggled = SimulatedCluster(slow).run_stage("s", list(tasks))
+        assert straggled.makespan > clean.makespan * 5
+
+    def test_deterministic_with_seed(self):
+        # Which tasks straggle is seeded; measured wall times jitter, so we
+        # compare the straggle pattern, made unambiguous by a large startup.
+        config = ClusterConfig(
+            cores=2, task_startup_s=0.1, straggler_prob=0.5,
+            straggler_factor=50.0, seed=7,
+        )
+        t1 = SimulatedCluster(config).run_stage("s", [lambda: None] * 20)[1]
+        t2 = SimulatedCluster(config).run_stage("s", [lambda: None] * 20)[1]
+        pattern1 = [t > 1.0 for t in t1.task_times]
+        pattern2 = [t > 1.0 for t in t2.task_times]
+        assert pattern1 == pattern2
+        assert any(pattern1) and not all(pattern1)
+
+
+class TestNetworkModel:
+    def test_transfer_time_scales_with_bytes(self):
+        cluster = SimulatedCluster(
+            ClusterConfig(client_bandwidth_bytes_s=1e6, client_latency_s=0.1)
+        )
+        assert cluster.client_transfer_time(1_000_000) == pytest.approx(1.1)
+
+    def test_slow_link_config(self):
+        fast = ClusterConfig()
+        slow = fast.with_client_link(10e6 / 8, 0.1)  # 10 Mbps / 100 ms
+        c_fast = SimulatedCluster(fast).client_transfer_time(100_000)
+        c_slow = SimulatedCluster(slow).client_transfer_time(100_000)
+        assert c_slow > c_fast * 10
+
+    def test_shuffle_accounting(self):
+        cluster = SimulatedCluster(ClusterConfig())
+        job = cluster.new_job()
+        cluster.account_shuffle(job, 1_000_000)
+        cluster.account_result_transfer(job, 2048)
+        assert job.shuffle_bytes == 1_000_000
+        assert job.result_bytes == 2048
+        assert job.network_time > 0
+        assert job.total_time >= job.server_time
+
+    def test_with_cores_builder(self):
+        assert ClusterConfig(cores=4).with_cores(64).cores == 64
+
+
+class TestJobMetrics:
+    def test_stage_lookup_missing(self):
+        cluster = SimulatedCluster()
+        job = cluster.new_job()
+        with pytest.raises(KeyError):
+            job.stage("nope")
+
+    def test_summary_keys(self):
+        cluster = SimulatedCluster()
+        job = cluster.new_job()
+        cluster.run_stage("s", [lambda: 0], job)
+        summary = job.summary()
+        assert set(summary) == {
+            "server_s", "network_s", "client_s", "total_s",
+            "result_bytes", "shuffle_bytes",
+        }

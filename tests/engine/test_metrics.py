@@ -1,0 +1,41 @@
+"""Tests for job metrics accounting (repro.engine.metrics)."""
+
+import pytest
+
+from repro.engine.metrics import JobMetrics, StageMetrics
+
+
+class TestStageMetrics:
+    def test_derived_properties(self):
+        stage = StageMetrics("map", task_times=[0.1, 0.2, 0.3], makespan=0.3)
+        assert stage.num_tasks == 3
+        assert stage.total_cpu == pytest.approx(0.6)
+
+
+class TestJobMetrics:
+    def test_server_time_composition(self):
+        job = JobMetrics(job_startup=0.25)
+        job.add_stage(StageMetrics("map", [0.1], 0.1))
+        job.add_stage(StageMetrics("reduce", [0.05], 0.05))
+        job.shuffle_time = 0.02
+        assert job.server_time == pytest.approx(0.42)
+
+    def test_total_time_includes_client_and_network(self):
+        job = JobMetrics()
+        job.network_time = 0.1
+        job.client_time = 0.2
+        assert job.total_time == pytest.approx(0.3)
+
+    def test_stage_lookup(self):
+        job = JobMetrics()
+        job.add_stage(StageMetrics("merge", [0.1], 0.1))
+        assert job.stage("merge").makespan == 0.1
+        with pytest.raises(KeyError):
+            job.stage("missing")
+
+    def test_summary_values(self):
+        job = JobMetrics(job_startup=1.0)
+        job.result_bytes = 100
+        summary = job.summary()
+        assert summary["server_s"] == 1.0
+        assert summary["result_bytes"] == 100.0

@@ -1,0 +1,93 @@
+"""Tests for the Spark-like RDD API (repro.engine.rdd)."""
+
+import numpy as np
+import pytest
+
+from repro.engine.cluster import ClusterConfig, SimulatedCluster
+from repro.engine.rdd import RDD
+from repro.engine.table import Table
+from repro.errors import ExecutionError
+
+
+@pytest.fixture
+def cluster() -> SimulatedCluster:
+    return SimulatedCluster(ClusterConfig(cores=4, task_startup_s=0.0, job_startup_s=0.0))
+
+
+class TestBasics:
+    def test_parallelize_collect(self, cluster):
+        rdd = RDD.parallelize(cluster, range(10), num_partitions=3)
+        assert sorted(rdd.collect()) == list(range(10))
+        assert rdd.num_partitions == 3
+
+    def test_map(self, cluster):
+        out = RDD.parallelize(cluster, [1, 2, 3]).map(lambda x: x * 10).collect()
+        assert sorted(out) == [10, 20, 30]
+
+    def test_filter(self, cluster):
+        out = RDD.parallelize(cluster, range(10)).filter(lambda x: x % 2 == 0)
+        assert sorted(out.collect()) == [0, 2, 4, 6, 8]
+
+    def test_flat_map(self, cluster):
+        out = RDD.parallelize(cluster, [1, 2]).flat_map(lambda x: [x, x]).collect()
+        assert sorted(out) == [1, 1, 2, 2]
+
+    def test_count(self, cluster):
+        assert RDD.parallelize(cluster, range(17)).count() == 17
+
+    def test_reduce(self, cluster):
+        assert RDD.parallelize(cluster, range(101)).reduce(lambda a, b: a + b) == 5050
+
+    def test_reduce_empty_rejected(self, cluster):
+        with pytest.raises(ExecutionError, match="empty"):
+            RDD.parallelize(cluster, []).reduce(lambda a, b: a + b)
+
+    def test_map_partitions(self, cluster):
+        out = RDD.parallelize(cluster, range(10), 2).map_partitions(lambda rows: [sum(rows)])
+        assert sum(out.collect()) == 45
+
+
+class TestReduceByKey:
+    def test_word_count_style(self, cluster):
+        pairs = [("a", 1), ("b", 1), ("a", 1), ("c", 1), ("a", 1), ("c", 1)]
+        out = RDD.parallelize(cluster, pairs, 2).reduce_by_key(lambda a, b: a + b)
+        assert dict(out.collect()) == {"a": 3, "b": 1, "c": 2}
+
+    def test_shuffle_is_accounted(self, cluster):
+        pairs = [(i % 5, 1) for i in range(100)]
+        rdd = RDD.parallelize(cluster, pairs, 4)
+        out = rdd.reduce_by_key(lambda a, b: a + b)
+        assert out.metrics.shuffle_bytes > 0
+
+    def test_reducer_count_controls_parallelism(self, cluster):
+        pairs = [(i, i) for i in range(20)]
+        out = RDD.parallelize(cluster, pairs, 2).reduce_by_key(lambda a, b: a + b,
+                                                               num_reducers=7)
+        assert out.num_partitions == 7
+        assert dict(out.collect()) == {i: i for i in range(20)}
+
+
+class TestFromTable:
+    def test_rows_carry_ids(self, cluster):
+        table = Table.from_columns(
+            "t", {"a": np.array([10, 20, 30]), "b": np.array([1, 2, 3])}, 2
+        )
+        rows = RDD.from_table(cluster, table).collect()
+        assert rows[0][0] == 0  # leading element is the row ID
+        assert {r[0] for r in rows} == {0, 1, 2}
+
+    def test_paper_table2_pipeline(self, cluster):
+        """The Table 2 example: filter on b, project a, sum -- over the
+        Spark-style API with IDs preserved."""
+        table = Table.from_columns(
+            "t",
+            {"a": np.array([1, 2, 3, 4]), "b": np.array([5, 50, 15, 3])},
+            2,
+        )
+        rdd = RDD.from_table(cluster, table, columns=["a", "b"])
+        total = (
+            rdd.filter(lambda row: row[2] > 10)
+            .map(lambda row: row[1])
+            .reduce(lambda x, y: x + y)
+        )
+        assert total == 5  # rows with b>10 have a = 2 and 3

@@ -1,0 +1,102 @@
+"""Tests for table serialisation (repro.engine.storage)."""
+
+import numpy as np
+import pytest
+
+from repro.engine.storage import (
+    deserialize_table,
+    disk_size,
+    memory_size,
+    serialize_table,
+)
+from repro.engine.table import Table
+from repro.errors import ExecutionError
+
+
+def build_table() -> Table:
+    rng = np.random.default_rng(0)
+    objs = np.empty(20, dtype=object)
+    for i in range(20):
+        objs[i] = (1 << 100) + i if i % 2 == 0 else -(1 << 90) - i
+    return Table.from_columns(
+        "mixed",
+        {
+            "i": rng.integers(-100, 100, 20).astype(np.int64),
+            "u": rng.integers(0, 2**63, 20).astype(np.uint64),
+            "f": rng.random(20),
+            "big": objs,
+            "ore": rng.integers(0, 2**63, (20, 2)).astype(np.uint64),
+        },
+        num_partitions=3,
+    )
+
+
+class TestRoundTrip:
+    def test_full_round_trip(self):
+        table = build_table()
+        restored = deserialize_table(serialize_table(table))
+        assert restored.name == table.name
+        assert restored.num_partitions == table.num_partitions
+        for col in table.column_names:
+            orig, back = table.column(col), restored.column(col)
+            if orig.dtype == object:
+                assert [int(x) for x in orig] == [int(x) for x in back]
+            else:
+                assert np.array_equal(orig, back)
+
+    def test_round_trip_compressed(self):
+        table = build_table()
+        restored = deserialize_table(serialize_table(table, compress=True))
+        assert np.array_equal(restored.column("i"), table.column("i"))
+
+    def test_partition_start_ids_preserved(self):
+        table = build_table()
+        restored = deserialize_table(serialize_table(table))
+        assert [p.start_id for p in restored.partitions] == [
+            p.start_id for p in table.partitions
+        ]
+
+    def test_2d_shape_preserved(self):
+        restored = deserialize_table(serialize_table(build_table()))
+        assert restored.column("ore").shape == (20, 2)
+
+
+class TestBoolColumns:
+    def test_bool_round_trip(self):
+        table = Table.from_columns(
+            "flags", {"b": np.array([True, False, True])}, 1
+        )
+        restored = deserialize_table(serialize_table(table))
+        assert restored.column("b").tolist() == [True, False, True]
+        assert restored.column("b").dtype == np.bool_
+
+
+class TestValidation:
+    def test_bad_magic(self):
+        with pytest.raises(ExecutionError, match="not a serialized"):
+            deserialize_table(b"JUNKxxxx")
+
+    def test_unsupported_dtype(self):
+        table = Table.from_columns("t", {"s": np.array(["a", "b"])}, 1)
+        with pytest.raises(ExecutionError, match="unsupported column dtype"):
+            serialize_table(table)
+
+
+class TestSizeAccounting:
+    def test_compression_shrinks_repetitive_data(self):
+        table = Table.from_columns("t", {"z": np.zeros(10_000, dtype=np.int64)}, 2)
+        assert disk_size(table, compress=True) < disk_size(table) / 50
+
+    def test_memory_exceeds_disk_for_plain_tables(self):
+        table = build_table()
+        assert memory_size(table) > disk_size(table)
+
+    def test_paillier_column_dominates(self):
+        """2048-bit ciphertexts are ~32x an int64 -- the Table 5 blowup."""
+        n = 200
+        plain = Table.from_columns("p", {"v": np.arange(n, dtype=np.int64)}, 1)
+        objs = np.empty(n, dtype=object)
+        for i in range(n):
+            objs[i] = 1 << 2047
+        paillier = Table.from_columns("e", {"v": objs}, 1)
+        assert disk_size(paillier) > 25 * disk_size(plain)

@@ -1,0 +1,105 @@
+"""Tests for the composable codec pipelines (repro.idlist.codec)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.idlist import CODECS, IdList, get_codec
+from repro.idlist.codec import decode
+
+ALL_CODEC_NAMES = sorted(CODECS)
+
+id_sets = st.sets(st.integers(min_value=0, max_value=20_000), max_size=150)
+
+
+@pytest.mark.parametrize("name", ALL_CODEC_NAMES)
+class TestRoundTripAllCodecs:
+    def test_typical(self, name):
+        codec = get_codec(name)
+        ids = IdList.from_ids([2, 3, 4, 9, 23, 24, 25, 1000])
+        assert codec.decode(codec.encode(ids)) == ids
+
+    def test_single_id(self, name):
+        codec = get_codec(name)
+        ids = IdList.from_ids([777])
+        assert codec.decode(codec.encode(ids)) == ids
+
+    def test_long_contiguous_run(self, name):
+        codec = get_codec(name)
+        ids = IdList.from_range(0, 5000)
+        assert codec.decode(codec.encode(ids)) == ids
+
+    def test_self_describing_decode(self, name):
+        codec = get_codec(name)
+        ids = IdList.from_ids([1, 5, 6])
+        assert decode(codec.encode(ids)) == ids
+
+
+class TestSizeBehaviour:
+    """The size relationships the paper relies on (Section 4.5, Fig 8a)."""
+
+    def test_range_encoding_bounds_dense_lists(self):
+        """A fully contiguous selection encodes to O(1) bytes with ranges,
+        O(n) without."""
+        ids = IdList.from_range(0, 100_000)
+        with_ranges = get_codec("ranges+vb+diff").encoded_size(ids)
+        without = get_codec("vb+diff").encoded_size(ids)
+        assert with_ranges < 20
+        assert without > 50_000
+
+    def test_range_encoding_bloats_sparse_lists(self):
+        """Isolated IDs cost two numbers under range encoding -- the reason
+        Seabed drops ranges on the group-by path."""
+        sparse = IdList.from_ids(list(range(0, 10_000, 7)))  # no two adjacent
+        with_ranges = get_codec("ranges+vb").encoded_size(sparse)
+        without = get_codec("vb").encoded_size(sparse)
+        assert with_ranges > without
+
+    def test_alternating_ids_compress_with_deflate(self):
+        """Paper Section 6.1: every-other-row selection looks adversarial
+        for range encoding but deflate exploits the regular structure."""
+        alternating = IdList.from_ids(list(range(0, 40_000, 2)))
+        plain = get_codec("ranges+vb+diff").encoded_size(alternating)
+        deflated = get_codec("ranges+vb+diff+deflate_fast").encoded_size(alternating)
+        assert deflated < plain / 10
+
+    def test_compact_deflate_not_larger_than_fast(self):
+        rng = np.random.default_rng(0)
+        ids = IdList.from_mask(rng.random(50_000) < 0.5)
+        fast = get_codec("ranges+vb+diff+deflate_fast").encoded_size(ids)
+        compact = get_codec("ranges+vb+diff+deflate_compact").encoded_size(ids)
+        assert compact <= fast
+
+    def test_fixed64_is_the_upper_baseline(self):
+        ids = IdList.from_ids(list(range(0, 9_000, 3)))
+        fixed = get_codec("fixed64").encoded_size(ids)
+        assert fixed >= 8 * ids.count()
+
+    def test_bitmap_good_when_dense_bad_when_wide(self):
+        dense = IdList.from_range(0, 8_000)
+        assert get_codec("bitmap").encoded_size(dense) <= 8_000 / 8 + 16
+        wide = IdList.from_ids([0, 10_000_000])
+        assert get_codec("bitmap").encoded_size(wide) > 1_000_000
+        # WAH fixes the wide case via fill words
+        assert get_codec("bitmap_wah").encoded_size(wide) < 100
+
+
+class TestErrors:
+    def test_unknown_codec(self):
+        with pytest.raises(EncodingError, match="unknown ID-list codec"):
+            get_codec("gzip9000")
+
+    def test_empty_payload(self):
+        with pytest.raises(EncodingError, match="empty"):
+            decode(b"")
+
+
+@pytest.mark.parametrize("name", ALL_CODEC_NAMES)
+@given(ids=id_sets)
+@settings(max_examples=25, deadline=None)
+def test_property_round_trip(name, ids):
+    codec = get_codec(name)
+    lst = IdList.from_ids(sorted(ids))
+    assert codec.decode(codec.encode(lst)) == lst

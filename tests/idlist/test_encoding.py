@@ -1,0 +1,84 @@
+"""Tests for range/diff transforms (repro.idlist.encoding) -- the paper's
+Table 3 examples are checked verbatim."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.idlist import encoding
+from repro.idlist.idlist import IdList
+
+id_sets = st.sets(st.integers(min_value=0, max_value=50_000), min_size=1, max_size=150)
+
+
+class TestTable3Examples:
+    """The exact examples from Table 3 of the paper."""
+
+    def test_range_encoding(self):
+        # [2...14, 19...23] -> [2-14, 19-23]
+        ids = IdList.from_ids(list(range(2, 15)) + list(range(19, 24)))
+        assert encoding.ranges_flatten(ids).tolist() == [2, 14, 19, 23]
+
+    def test_diff_encoding(self):
+        # [2,3,4,9,23] -> [2,1,1,5,14]
+        arr = np.array([2, 3, 4, 9, 23], dtype=np.uint64)
+        assert encoding.diff_encode(arr).tolist() == [2, 1, 1, 5, 14]
+
+    def test_combination(self):
+        # [2...14, 19...23] -> [2-12, 5-4]
+        ids = IdList.from_ids(list(range(2, 15)) + list(range(19, 24)))
+        assert encoding.combination_encode(ids).tolist() == [2, 12, 5, 4]
+
+
+class TestInverses:
+    def test_ranges_round_trip(self):
+        ids = IdList.from_ids([1, 2, 3, 7, 9, 10])
+        assert encoding.ranges_unflatten(encoding.ranges_flatten(ids)) == ids
+
+    def test_diff_round_trip(self):
+        arr = np.array([5, 6, 100, 1000], dtype=np.uint64)
+        assert encoding.diff_decode(encoding.diff_encode(arr)).tolist() == arr.tolist()
+
+    def test_combination_round_trip(self):
+        ids = IdList.from_ids([0, 1, 5, 6, 7, 99])
+        assert encoding.combination_decode(encoding.combination_encode(ids)) == ids
+
+    def test_empty_cases(self):
+        assert encoding.combination_encode(IdList.empty()).size == 0
+        assert encoding.combination_decode(np.empty(0, np.uint64)).is_empty()
+        assert encoding.diff_encode(np.empty(0, np.uint64)).size == 0
+        assert encoding.diff_decode(np.empty(0, np.uint64)).size == 0
+
+
+class TestValidation:
+    def test_odd_range_sequence(self):
+        with pytest.raises(EncodingError, match="even"):
+            encoding.ranges_unflatten(np.array([1, 2, 3], dtype=np.uint64))
+
+    def test_odd_combination_sequence(self):
+        with pytest.raises(EncodingError, match="even"):
+            encoding.combination_decode(np.array([1, 2, 3], dtype=np.uint64))
+
+
+@given(ids=id_sets)
+@settings(max_examples=100, deadline=None)
+def test_property_combination_round_trip(ids):
+    lst = IdList.from_ids(sorted(ids))
+    assert encoding.combination_decode(encoding.combination_encode(lst)) == lst
+
+
+@given(ids=id_sets)
+@settings(max_examples=100, deadline=None)
+def test_property_ranges_round_trip(ids):
+    lst = IdList.from_ids(sorted(ids))
+    assert encoding.ranges_unflatten(encoding.ranges_flatten(lst)) == lst
+
+
+@given(values=st.lists(st.integers(min_value=0, max_value=2**40), min_size=1,
+                       max_size=100))
+@settings(max_examples=100, deadline=None)
+def test_property_diff_round_trip_sorted(values):
+    arr = np.array(sorted(values), dtype=np.uint64)
+    assert encoding.diff_decode(encoding.diff_encode(arr)).tolist() == arr.tolist()

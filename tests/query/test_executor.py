@@ -1,0 +1,167 @@
+"""Tests for the plaintext executor (repro.query.executor)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.query.executor import execute_plain
+from repro.query.parser import parse_query
+
+
+@pytest.fixture
+def tables():
+    return {
+        "sales": {
+            "country": np.array(["us", "ca", "us", "in", "ca", "us"], dtype=object),
+            "amount": np.array([10, 20, 30, 40, 50, 60], dtype=np.int64),
+            "year": np.array([2015, 2015, 2016, 2016, 2016, 2016], dtype=np.int64),
+        },
+        "rates": {
+            "country": np.array(["us", "ca", "in"], dtype=object),
+            "rate": np.array([1, 2, 3], dtype=np.int64),
+        },
+    }
+
+
+def run(tables, sql):
+    return execute_plain(tables, parse_query(sql))
+
+
+class TestFlatAggregation:
+    def test_sum(self, tables):
+        assert run(tables, "SELECT sum(amount) FROM sales") == [{"sum(amount)": 210}]
+
+    def test_count_star(self, tables):
+        assert run(tables, "SELECT count(*) FROM sales") == [{"count(*)": 6}]
+
+    def test_avg(self, tables):
+        assert run(tables, "SELECT avg(amount) FROM sales") == [{"avg(amount)": 35.0}]
+
+    def test_min_max(self, tables):
+        row = run(tables, "SELECT min(amount), max(amount) FROM sales")[0]
+        assert row == {"min(amount)": 10, "max(amount)": 60}
+
+    def test_var_stddev(self, tables):
+        row = run(tables, "SELECT var(amount), stddev(amount) FROM sales")[0]
+        values = np.array([10, 20, 30, 40, 50, 60])
+        assert row["var(amount)"] == pytest.approx(np.var(values))
+        assert row["stddev(amount)"] == pytest.approx(np.std(values))
+
+    def test_median(self, tables):
+        assert run(tables, "SELECT median(amount) FROM sales")[0][
+            "median(amount)"
+        ] == pytest.approx(35.0)
+
+    def test_alias(self, tables):
+        assert run(tables, "SELECT sum(amount) AS total FROM sales") == [
+            {"total": 210}
+        ]
+
+    def test_empty_selection_sum_is_none(self, tables):
+        rows = run(tables, "SELECT sum(amount) FROM sales WHERE year = 1999")
+        assert rows == [{"sum(amount)": None}]
+
+
+class TestFilters:
+    def test_equality_string(self, tables):
+        assert run(
+            tables, "SELECT sum(amount) FROM sales WHERE country = 'us'"
+        ) == [{"sum(amount)": 100}]
+
+    def test_range(self, tables):
+        assert run(tables, "SELECT sum(amount) FROM sales WHERE amount > 30") == [
+            {"sum(amount)": 150}
+        ]
+
+    def test_and_or(self, tables):
+        rows = run(
+            tables,
+            "SELECT count(*) FROM sales WHERE country = 'us' AND year = 2016 OR amount = 20",
+        )
+        assert rows == [{"count(*)": 3}]
+
+    def test_not(self, tables):
+        assert run(tables, "SELECT count(*) FROM sales WHERE NOT country = 'us'") == [
+            {"count(*)": 3}
+        ]
+
+    def test_in(self, tables):
+        assert run(
+            tables, "SELECT count(*) FROM sales WHERE country IN ('ca', 'in')"
+        ) == [{"count(*)": 3}]
+
+    def test_between(self, tables):
+        assert run(
+            tables, "SELECT count(*) FROM sales WHERE amount BETWEEN 20 AND 40"
+        ) == [{"count(*)": 3}]
+
+    def test_unknown_column(self, tables):
+        with pytest.raises(ExecutionError, match="unknown column"):
+            run(tables, "SELECT sum(zzz) FROM sales")
+
+    def test_unknown_table(self, tables):
+        with pytest.raises(ExecutionError, match="unknown table"):
+            run(tables, "SELECT sum(amount) FROM nope")
+
+
+class TestGroupBy:
+    def test_group_sums(self, tables):
+        rows = run(
+            tables,
+            "SELECT country, sum(amount) FROM sales GROUP BY country",
+        )
+        assert rows == [
+            {"country": "ca", "sum(amount)": 70},
+            {"country": "in", "sum(amount)": 40},
+            {"country": "us", "sum(amount)": 100},
+        ]
+
+    def test_group_by_two_columns(self, tables):
+        rows = run(
+            tables,
+            "SELECT country, year, count(*) FROM sales GROUP BY country, year",
+        )
+        assert {(r["country"], r["year"]): r["count(*)"] for r in rows} == {
+            ("us", 2015): 1, ("ca", 2015): 1, ("us", 2016): 2,
+            ("in", 2016): 1, ("ca", 2016): 1,
+        }
+
+    def test_order_by_agg_desc_limit(self, tables):
+        rows = run(
+            tables,
+            "SELECT country, sum(amount) AS total FROM sales "
+            "GROUP BY country ORDER BY total DESC LIMIT 2",
+        )
+        assert [r["country"] for r in rows] == ["us", "ca"]
+
+    def test_bare_column_needs_group_by(self, tables):
+        with pytest.raises(ExecutionError, match="GROUP BY|ungrouped"):
+            run(tables, "SELECT country, sum(amount) FROM sales")
+
+
+class TestJoin:
+    def test_join_then_aggregate(self, tables):
+        rows = run(
+            tables,
+            "SELECT sum(rate) FROM sales JOIN rates ON country = country",
+        )
+        # us->1 (x3), ca->2 (x2), in->3 (x1) == 3 + 4 + 3
+        assert rows == [{"sum(rate)": 10}]
+
+    def test_join_with_filter_and_group(self, tables):
+        rows = run(
+            tables,
+            "SELECT country, sum(rate) FROM sales JOIN rates ON country = country "
+            "WHERE year = 2016 GROUP BY country",
+        )
+        assert rows == [
+            {"country": "ca", "sum(rate)": 2},
+            {"country": "in", "sum(rate)": 3},
+            {"country": "us", "sum(rate)": 2},
+        ]
+
+
+class TestProjection:
+    def test_plain_select_with_filter(self, tables):
+        rows = run(tables, "SELECT country FROM sales WHERE amount >= 50")
+        assert rows == [{"country": "ca"}, {"country": "us"}]

@@ -1,0 +1,58 @@
+"""Tests for the benchmark-harness support (repro.bench)."""
+
+import os
+
+import pytest
+
+from repro.bench.harness import ResultSink, cdf_points, results_dir
+from repro.bench.tables import format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        text = format_table(["a", "long_header"], [[1, 2.5], [333, 0.001]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1]) <= {"-", " "}
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equally wide
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.startswith("My Table\n")
+
+    def test_number_rendering(self):
+        text = format_table(["v"], [[1234567], [0.25], [1234.5], [0]])
+        assert "1,234,567" in text
+        assert "0.25" in text
+
+    def test_strings_pass_through(self):
+        assert "hello" in format_table(["v"], [["hello"]])
+
+
+class TestResultSink:
+    def test_writes_file(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("SEABED_RESULTS_DIR", str(tmp_path))
+        with ResultSink("demo") as sink:
+            sink.emit("chunk one")
+            sink.emit("chunk two")
+        path = tmp_path / "demo.txt"
+        assert path.exists()
+        content = path.read_text()
+        assert "chunk one" in content and "chunk two" in content
+        assert "chunk one" in capsys.readouterr().out
+
+    def test_results_dir_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("SEABED_RESULTS_DIR", str(tmp_path / "nested"))
+        assert results_dir() == tmp_path / "nested"
+        assert (tmp_path / "nested").is_dir()
+
+
+class TestCdf:
+    def test_quantiles(self):
+        points = cdf_points(range(1, 101), quantiles=(0.5, 1.0))
+        assert points[0] == (0.5, pytest.approx(50.5))
+        assert points[1] == (1.0, 100.0)
+
+    def test_empty(self):
+        assert cdf_points([]) == []

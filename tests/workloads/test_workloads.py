@@ -1,0 +1,142 @@
+"""Tests for the workload generators (repro.workloads)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SeabedError
+from repro.workloads import adanalytics, bdb, distributions, mdx, synthetic, tpcds
+
+
+class TestDistributions:
+    def test_zipf_probabilities_sum_to_one(self):
+        probs = distributions.zipf_probabilities(50)
+        assert probs.sum() == pytest.approx(1.0)
+        assert (np.diff(probs) <= 0).all()  # monotone decreasing
+
+    def test_zipf_choice_respects_cardinality(self):
+        rng = np.random.default_rng(0)
+        codes = distributions.zipf_choice(rng, 10, 1000)
+        assert codes.min() >= 0 and codes.max() < 10
+
+    def test_expected_counts(self):
+        counts = distributions.expected_counts(5, 1000)
+        assert sum(counts.values()) == pytest.approx(1000, abs=5)
+
+    def test_bad_cardinality(self):
+        with pytest.raises(SeabedError):
+            distributions.zipf_probabilities(0)
+
+
+class TestSynthetic:
+    def test_deterministic_per_seed(self):
+        a = synthetic.generate(100, seed=1)
+        b = synthetic.generate(100, seed=1)
+        assert np.array_equal(a.columns["value"], b.columns["value"])
+
+    def test_optional_columns(self):
+        d = synthetic.generate(100, num_groups=4, with_ope_column=True)
+        assert set(d.columns) == {"value", "grp", "ope_val"}
+        assert d.columns["grp"].max() < 4
+
+    def test_sample_queries_cover_columns(self):
+        d = synthetic.generate(10, num_groups=2, with_ope_column=True)
+        queries = synthetic.sample_queries(d)
+        assert any("GROUP BY grp" in q for q in queries)
+        assert any("ope_val" in q for q in queries)
+
+    def test_selectivity_mask(self):
+        mask = synthetic.selectivity_mask(100_000, 0.3, seed=0)
+        assert 0.28 < mask.mean() < 0.32
+
+    def test_selectivity_bounds(self):
+        with pytest.raises(SeabedError):
+            synthetic.selectivity_mask(10, 1.5)
+
+    def test_rows_positive(self):
+        with pytest.raises(SeabedError):
+            synthetic.generate(0)
+
+
+class TestBdb:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return bdb.generate(num_rankings=200, num_uservisits=1000, seed=0)
+
+    def test_schema_shapes(self, data):
+        assert len(data.rankings["pageURL"]) == 200
+        assert len(data.uservisits["sourceIP"]) == 1000
+        assert data.rankings_schema.column("pageRank").sensitive
+
+    def test_dest_urls_reference_rankings(self, data):
+        assert set(data.uservisits["destURL"]) <= set(data.rankings["pageURL"])
+
+    def test_prefix_columns_are_prefixes(self, data):
+        for width in (8, 10, 12):
+            col = data.uservisits[f"ipPrefix{width}"]
+            ips = data.uservisits["sourceIP"]
+            assert all(ip.startswith(p) for ip, p in zip(ips, col))
+
+    def test_queries_render(self):
+        sql, desc = bdb.query_q1("A")
+        assert "pageRank >" in sql and "Q1A" in desc
+        assert "ipPrefix10" in bdb.query_q2("B")
+        assert "JOIN rankings" in bdb.query_q3("C")
+
+    def test_crawl_documents_and_link_extraction(self, data):
+        docs = bdb.generate_crawl_documents(20, data.rankings["pageURL"], seed=0)
+        assert len(docs) == 20
+        pairs = bdb.extract_links(docs[0])
+        assert pairs and all(count == 1 for _url, count in pairs)
+        assert all(url in set(data.rankings["pageURL"]) for url, _c in pairs)
+
+
+class TestAdAnalytics:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return adanalytics.generate(rows=2000, seed=0)
+
+    def test_schema_has_paper_shape(self, data):
+        dims = [c for c in data.schema.columns if c.name.endswith(tuple("0123456789")) and "dim" in c.name]
+        # 33 dimensions = hour + 10 sensitive + 22 public
+        assert len(dims) + 1 == 33
+        measures = [c for c in data.schema.columns if c.name.startswith("measure")]
+        assert len(measures) == 18
+        assert sum(1 for c in measures if c.sensitive) == 10
+
+    def test_sensitive_dims_have_distributions(self, data):
+        for dim in data.sensitive_dims:
+            spec = data.schema.column(dim)
+            assert spec.value_counts is not None
+
+    def test_query_log_mix(self):
+        log = adanalytics.generate_query_log(3000, seed=1)
+        post = sum(1 for q in log if q.category == "CPost")
+        fraction = post / len(log)
+        paper = adanalytics.PAPER_LOG_POST / adanalytics.PAPER_LOG_TOTAL
+        assert abs(fraction - paper) < 0.03
+
+    def test_log_group_counts_in_paper_range(self):
+        log = adanalytics.generate_query_log(500, seed=2)
+        assert all(1 <= q.num_groups <= 12 for q in log)
+
+    def test_figure10a_queries(self):
+        queries = adanalytics.figure10a_queries(seed=0)
+        assert len(queries) == 15
+        assert sorted({q.num_groups for q in queries}) == [1, 4, 8]
+
+
+class TestCatalogs:
+    def test_mdx_matches_paper(self):
+        assert mdx.category_counts() == mdx.PAPER_COUNTS
+
+    def test_mdx_catalog_complete(self):
+        assert [f.number for f in mdx.MDX_CATALOG] == list(range(1, 39))
+        assert all(f.description and f.how_supported for f in mdx.MDX_CATALOG)
+
+    def test_tpcds_matches_paper(self):
+        assert tpcds.category_counts() == tpcds.PAPER_COUNTS
+
+    def test_tpcds_has_99_queries(self):
+        cat = tpcds.catalog()
+        assert len(cat) == 99
+        assert cat[0].name == "q1" and cat[0].category == "2R"
