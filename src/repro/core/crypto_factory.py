@@ -8,6 +8,8 @@ caches scheme instances.
 
 from __future__ import annotations
 
+import threading
+
 from repro.crypto.ashe import AsheScheme
 from repro.crypto.det import DetScheme
 from repro.crypto.keys import KeyChain
@@ -34,28 +36,37 @@ class CryptoFactory:
         self._ashe: dict[str, AsheScheme] = {}
         self._det: dict[str, DetScheme] = {}
         self._ore: dict[str, OreScheme] = {}
+        # query_many() decrypts on several threads; the lock keeps the
+        # check-then-insert below from constructing a scheme twice (the
+        # loser's per-scheme op counters would be silently discarded).
+        self._lock = threading.Lock()
 
     def ashe(self, physical_column: str) -> AsheScheme:
-        if physical_column not in self._ashe:
-            key = self._keychain.column_key(self._table, physical_column, "ashe")
-            self._ashe[physical_column] = AsheScheme(prf_from_name(self._prf_backend, key))
-        return self._ashe[physical_column]
+        with self._lock:
+            if physical_column not in self._ashe:
+                key = self._keychain.column_key(self._table, physical_column, "ashe")
+                self._ashe[physical_column] = AsheScheme(
+                    prf_from_name(self._prf_backend, key)
+                )
+            return self._ashe[physical_column]
 
     def det(self, physical_column: str, join_group: str | None = None) -> DetScheme:
         cache_key = f"join:{join_group}" if join_group else physical_column
-        if cache_key not in self._det:
-            if join_group:
-                key = self._keychain.derive("join", join_group, "det")
-            else:
-                key = self._keychain.column_key(self._table, physical_column, "det")
-            self._det[cache_key] = DetScheme(key, backend=self._det_backend)
-        return self._det[cache_key]
+        with self._lock:
+            if cache_key not in self._det:
+                if join_group:
+                    key = self._keychain.derive("join", join_group, "det")
+                else:
+                    key = self._keychain.column_key(self._table, physical_column, "det")
+                self._det[cache_key] = DetScheme(key, backend=self._det_backend)
+            return self._det[cache_key]
 
     def ore(self, physical_column: str, nbits: int = 32, signed: bool = True) -> OreScheme:
         cache_key = f"{physical_column}/{nbits}/{signed}"
-        if cache_key not in self._ore:
-            key = self._keychain.column_key(self._table, physical_column, "ore")
-            self._ore[cache_key] = OreScheme(
-                key, nbits=nbits, signed=signed, backend=self._ore_backend
-            )
-        return self._ore[cache_key]
+        with self._lock:
+            if cache_key not in self._ore:
+                key = self._keychain.column_key(self._table, physical_column, "ore")
+                self._ore[cache_key] = OreScheme(
+                    key, nbits=nbits, signed=signed, backend=self._ore_backend
+                )
+            return self._ore[cache_key]

@@ -10,7 +10,8 @@ Section 4.1:
   server-side physical schema (incremental; inserts append);
 - :meth:`SeabedClient.query` -- translate, execute on the untrusted
   server, decrypt, post-process, and return plaintext rows with full
-  timing metrics.
+  timing metrics.  :meth:`SeabedClient.query_many` batches independent
+  queries and fans them out through the cluster's execution backend.
 
 ``mode`` selects the paper's three compared systems over one pipeline:
 ``seabed`` (ASHE/SPLASHE/DET/ORE), ``paillier`` (the CryptDB/Monomi-style
@@ -22,8 +23,11 @@ why join queries must go through the proxy.
 from __future__ import annotations
 
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any, Iterable, Mapping
+
+import numpy as np
 
 from repro.core import schema as sc
 from repro.core import server as srv
@@ -40,6 +44,7 @@ from repro.engine.cluster import SimulatedCluster
 from repro.engine.metrics import JobMetrics
 from repro.errors import PlanningError, TranslationError
 from repro.query.ast import Query
+from repro.query.executor import order_and_limit
 from repro.query.parser import parse_query
 
 
@@ -294,6 +299,49 @@ class SeabedClient:
             translation=translated,
         )
 
+    def query_many(
+        self,
+        queries: Iterable[str | Query],
+        expected_groups: int | None = None,
+        compress_at: str = "worker",
+        user: str | None = None,
+        max_in_flight: int | None = None,
+    ) -> list[QueryResult]:
+        """Execute a batch of independent queries, results in input order.
+
+        This is the "millions of users" traffic shape: each query is
+        translated, executed, and decrypted independently, so the batch
+        fans out through the cluster's execution backend.  With the
+        ``serial`` backend (the default) queries run sequentially and the
+        result is exactly ``[self.query(q) for q in queries]``; with
+        ``threads`` or ``processes`` up to ``max_in_flight`` queries
+        (default: the backend's worker count) are in flight at once on a
+        driver-side thread pool, and their server stages share the
+        backend's worker pool.
+
+        Nearly everything a query touches after planning is read-only
+        (tables, schemas, dictionaries, key material); the few shared
+        mutable spots -- the straggler RNG, worker-pool creation, scheme
+        caches, and per-scheme op counters -- are lock-protected.
+        """
+        queries = list(queries)
+
+        def one(q: str | Query) -> QueryResult:
+            return self.query(
+                q, expected_groups=expected_groups, compress_at=compress_at,
+                user=user,
+            )
+
+        backend = self.cluster.backend
+        if backend.name == "serial" or len(queries) <= 1:
+            return [one(q) for q in queries]
+        width = max_in_flight or backend.workers
+        with ThreadPoolExecutor(
+            max_workers=width, thread_name_prefix="seabed-query"
+        ) as pool:
+            futures = [pool.submit(one, q) for q in queries]
+            return [f.result() for f in futures]
+
     def scan(self, query: str | Query) -> QueryResult:
         """Execute a projection (scan) query: ``SELECT cols FROM t WHERE ...``.
 
@@ -308,7 +356,7 @@ class SeabedClient:
         state = self._state(q.table)
         factory = self._factories[q.table]
         translator = QueryTranslator(state, factory)
-        base_filter, selectors = translator._split_predicate(q.where)
+        base_filter, selectors = translator.split_predicate(q.where)
         if selectors:
             raise TranslationError("SPLASHE dimensions cannot be projected")
         requested = [item.name for item in q.select]
@@ -364,8 +412,6 @@ class SeabedClient:
         ]
         client_time = time.perf_counter() - t0
         response.metrics.client_time = client_time
-        from repro.query.executor import order_and_limit
-
         rows = order_and_limit(rows, q)
         return QueryResult(
             rows=rows, request_metrics=[response.metrics], client_time=client_time
@@ -396,10 +442,8 @@ class SeabedClient:
         mean_y = row[f"sum({y_column})"] / n
 
         second = self.scan(f"SELECT {x_column}, {y_column} FROM {table}{predicate}")
-        import numpy as _np
-
-        xs = _np.array([r[x_column] for r in second.rows], dtype=_np.float64)
-        ys = _np.array([r[y_column] for r in second.rows], dtype=_np.float64)
+        xs = np.array([r[x_column] for r in second.rows], dtype=np.float64)
+        ys = np.array([r[y_column] for r in second.rows], dtype=np.float64)
         sxx = float(((xs - mean_x) ** 2).sum())
         sxy = float(((xs - mean_x) * (ys - mean_y)).sum())
         syy = float(((ys - mean_y) ** 2).sum())

@@ -255,6 +255,156 @@ def _payload_nbytes(payload: Any) -> int:
     return 8
 
 
+# ---------------------------------------------------------------------------
+# Stage task bodies
+#
+# These are the units of work the cluster's execution backend dispatches.
+# They are deliberately top-level functions taking (Partition, query-slice)
+# arguments -- never closures over server state -- so the ``processes``
+# backend can pickle them to pool workers, exactly as Spark serialises its
+# task closures to executors.  Everything they touch is public material:
+# ciphertexts, comparison tokens, and row IDs.
+# ---------------------------------------------------------------------------
+
+
+def scan_map_task(
+    part: Partition, columns: tuple[str, ...], filt: FilterExpr | None
+) -> tuple[dict[str, np.ndarray], np.ndarray]:
+    """Filtered projection of one partition: selected columns + row IDs."""
+    mask = eval_filter(part.columns, filt, part.nrows)
+    ids = np.arange(part.nrows, dtype=_U64) + _U64(part.start_id)
+    if mask is None:
+        return {c: part.column(c) for c in columns}, ids
+    return {c: part.column(c)[mask] for c in columns}, ids[mask]
+
+
+def probe_join(
+    part: Partition, q: ServerQuery, build: dict[str, Any]
+) -> tuple[dict[str, np.ndarray], np.ndarray] | None:
+    """Probe one partition against the broadcast build index.
+
+    Returns (joined columns, probe-row selector) or None if empty.
+    """
+    join = q.join
+    assert join is not None
+    probe_keys = part.column(join.probe_key_column)
+    index = build["index"]
+    probe_rows: list[int] = []
+    build_rows: list[int] = []
+    for pos, key in enumerate(probe_keys.tolist()):
+        for b in index.get(key, ()):
+            probe_rows.append(pos)
+            build_rows.append(b)
+    if not probe_rows:
+        return None
+    probe_idx = np.asarray(probe_rows, dtype=np.int64)
+    build_idx = np.asarray(build_rows, dtype=np.int64)
+    columns = {name: arr[probe_idx] for name, arr in part.columns.items()}
+    for name, arr in build["payloads"].items():
+        columns[name] = arr[build_idx]
+    columns[JOIN_IDS_COLUMN] = build["ids"][build_idx]
+    return columns, probe_idx
+
+
+def partition_view(
+    part: Partition, q: ServerQuery, build: dict[str, Any] | None
+) -> tuple[dict[str, np.ndarray], np.ndarray] | None:
+    """Columns + global row IDs after the optional join."""
+    if build is None:
+        ids = np.arange(part.nrows, dtype=_U64) + _U64(part.start_id)
+        return dict(part.columns), ids
+    joined = probe_join(part, q, build)
+    if joined is None:
+        return None
+    columns, probe_idx = joined
+    ids = probe_idx.astype(_U64) + _U64(part.start_id)
+    return columns, ids
+
+
+def flat_map_task(
+    part: Partition, q: ServerQuery, build: dict[str, Any] | None
+) -> dict[str, Any] | None:
+    """Per-partition partial aggregates for a flat (ungrouped) query."""
+    view = partition_view(part, q, build)
+    if view is None:
+        return None
+    columns, row_ids = view
+    nrows = len(row_ids)
+    mask = eval_filter(columns, q.filter, nrows)
+    partials: dict[str, Any] = {}
+    for agg in q.aggs:
+        partials[agg.alias] = _flat_partial(agg, columns, mask, row_ids, q)
+    return partials
+
+
+def grouped_map_task(
+    part: Partition, q: ServerQuery, build: dict[str, Any] | None
+) -> dict[tuple[int, int], dict[str, Any]]:
+    """Per-partition (group key, suffix) -> partial aggregates."""
+    inflation = max(1, q.inflation)
+    view = partition_view(part, q, build)
+    if view is None:
+        return {}
+    columns, row_ids = view
+    nrows = len(row_ids)
+    mask = eval_filter(columns, q.filter, nrows)
+    sel = np.arange(nrows) if mask is None else np.flatnonzero(mask)
+    if sel.size == 0:
+        return {}
+    keys = columns[q.group_by][sel]
+    keys = keys.astype(_U64, copy=False)
+    ids = row_ids[sel]
+    # Group-by optimisation (Section 4.5): append a pseudo-random
+    # suffix to multiply the number of reduce keys.
+    suffix = (ids % _U64(inflation)).astype(np.int64) if inflation > 1 else None
+    if suffix is None:
+        order = np.argsort(keys, kind="stable")
+        sorted_suffix = np.zeros(sel.size, dtype=np.int64)
+    else:
+        order = np.lexsort((suffix, keys))
+        sorted_suffix = suffix[order]
+    sorted_keys = keys[order]
+    sorted_ids = ids[order]
+    sorted_sel = sel[order]
+    if sorted_keys.size == 0:
+        return {}
+    new_group = np.empty(sorted_keys.size, dtype=bool)
+    new_group[0] = True
+    new_group[1:] = (sorted_keys[1:] != sorted_keys[:-1]) | (
+        sorted_suffix[1:] != sorted_suffix[:-1]
+    )
+    starts = np.flatnonzero(new_group)
+    out: dict[tuple[int, int], dict[str, Any]] = {}
+    bounds = np.append(starts, sorted_keys.size)
+    group_partials: dict[str, list[Any]] = {
+        agg.alias: _group_partials(
+            agg, columns, sorted_sel, sorted_ids, starts, bounds, q
+        )
+        for agg in q.aggs
+    }
+    for g, start in enumerate(starts.tolist()):
+        key = int(sorted_keys[start])
+        sfx = int(sorted_suffix[start])
+        out[(key, sfx)] = {
+            agg.alias: group_partials[agg.alias][g] for agg in q.aggs
+        }
+    return out
+
+
+def group_reduce_task(
+    shard: dict[tuple[int, int], list[dict[str, Any]]], aggs: tuple[AggOp, ...]
+) -> list[tuple[int, int, dict[str, Any]]]:
+    """Merge one reducer's shard of (key, suffix) partials."""
+    merged: list[tuple[int, int, dict[str, Any]]] = []
+    for key, entries in shard.items():
+        per_agg = {}
+        for agg in aggs:
+            pieces = [e[agg.alias] for e in entries if e[agg.alias] is not None]
+            per_agg[agg.alias] = merge_payloads(agg, pieces)
+        merged.append((key[0], key[1], per_agg))
+    return merged
+
+
 class SeabedServer:
     """Holds registered encrypted tables and executes server queries."""
 
@@ -311,16 +461,9 @@ class SeabedServer:
         """
         table = self.table(table_name)
         metrics = self.cluster.new_job()
-
-        def map_task(part: Partition):
-            mask = eval_filter(part.columns, filt, part.nrows)
-            ids = np.arange(part.nrows, dtype=_U64) + _U64(part.start_id)
-            if mask is None:
-                return {c: part.column(c) for c in columns}, ids
-            return {c: part.column(c)[mask] for c in columns}, ids[mask]
-
-        tasks = [lambda p=p: map_task(p) for p in table.partitions]
-        parts, _ = self.cluster.run_stage("scan", tasks, metrics)
+        columns = tuple(columns)
+        calls = [(part, columns, filt) for part in table.partitions]
+        parts, _ = self.cluster.map_stage("scan", scan_map_task, calls, metrics)
 
         def merge():
             cols = {
@@ -372,45 +515,6 @@ class SeabedServer:
         self.cluster.account_shuffle(metrics, build_bytes)
         return build
 
-    @staticmethod
-    def _probe_join(
-        part: Partition, q: ServerQuery, build: dict[str, Any]
-    ) -> tuple[dict[str, np.ndarray], np.ndarray] | None:
-        """Returns (joined columns, probe-row selector) or None if empty."""
-        join = q.join
-        assert join is not None
-        probe_keys = part.column(join.probe_key_column)
-        index = build["index"]
-        probe_rows: list[int] = []
-        build_rows: list[int] = []
-        for pos, key in enumerate(probe_keys.tolist()):
-            for b in index.get(key, ()):
-                probe_rows.append(pos)
-                build_rows.append(b)
-        if not probe_rows:
-            return None
-        probe_idx = np.asarray(probe_rows, dtype=np.int64)
-        build_idx = np.asarray(build_rows, dtype=np.int64)
-        columns = {name: arr[probe_idx] for name, arr in part.columns.items()}
-        for name, arr in build["payloads"].items():
-            columns[name] = arr[build_idx]
-        columns[JOIN_IDS_COLUMN] = build["ids"][build_idx]
-        return columns, probe_idx
-
-    def _partition_view(
-        self, part: Partition, q: ServerQuery, build: dict[str, Any] | None
-    ) -> tuple[dict[str, np.ndarray], np.ndarray] | None:
-        """Columns + global row IDs after the optional join."""
-        if build is None:
-            ids = np.arange(part.nrows, dtype=_U64) + _U64(part.start_id)
-            return dict(part.columns), ids
-        joined = self._probe_join(part, q, build)
-        if joined is None:
-            return None
-        columns, probe_idx = joined
-        ids = probe_idx.astype(_U64) + _U64(part.start_id)
-        return columns, ids
-
     # -- flat aggregation -------------------------------------------------------
 
     def _execute_flat(
@@ -420,20 +524,11 @@ class SeabedServer:
         build: dict[str, Any] | None,
         metrics: JobMetrics,
     ) -> ServerResponse:
-        def map_task(part: Partition) -> dict[str, Any] | None:
-            view = self._partition_view(part, q, build)
-            if view is None:
-                return None
-            columns, row_ids = view
-            nrows = len(row_ids)
-            mask = eval_filter(columns, q.filter, nrows)
-            partials: dict[str, Any] = {}
-            for agg in q.aggs:
-                partials[agg.alias] = _flat_partial(agg, columns, mask, row_ids, q)
-            return partials
-
-        tasks = [lambda p=p: map_task(p) for p in table.partitions]
-        partials, _ = self.cluster.run_stage("aggregate", tasks, metrics)
+        # Under the processes backend, q and the broadcast build side are
+        # pickled once per partition call -- the cost a real cluster pays
+        # as broadcast volume (already accounted in _prepare_join).
+        calls = [(part, q, build) for part in table.partitions]
+        partials, _ = self.cluster.map_stage("aggregate", flat_map_task, calls, metrics)
         partials = [p for p in partials if p is not None]
 
         def merge() -> dict[str, Any]:
@@ -458,59 +553,10 @@ class SeabedServer:
         build: dict[str, Any] | None,
         metrics: JobMetrics,
     ) -> ServerResponse:
-        inflation = max(1, q.inflation)
-
-        def map_task(part: Partition) -> dict[tuple[int, int], dict[str, Any]]:
-            view = self._partition_view(part, q, build)
-            if view is None:
-                return {}
-            columns, row_ids = view
-            nrows = len(row_ids)
-            mask = eval_filter(columns, q.filter, nrows)
-            sel = np.arange(nrows) if mask is None else np.flatnonzero(mask)
-            if sel.size == 0:
-                return {}
-            keys = columns[q.group_by][sel]
-            keys = keys.astype(_U64, copy=False)
-            ids = row_ids[sel]
-            # Group-by optimisation (Section 4.5): append a pseudo-random
-            # suffix to multiply the number of reduce keys.
-            suffix = (ids % _U64(inflation)).astype(np.int64) if inflation > 1 else None
-            if suffix is None:
-                order = np.argsort(keys, kind="stable")
-                sorted_suffix = np.zeros(sel.size, dtype=np.int64)
-            else:
-                order = np.lexsort((suffix, keys))
-                sorted_suffix = suffix[order]
-            sorted_keys = keys[order]
-            sorted_ids = ids[order]
-            sorted_sel = sel[order]
-            if sorted_keys.size == 0:
-                return {}
-            new_group = np.empty(sorted_keys.size, dtype=bool)
-            new_group[0] = True
-            new_group[1:] = (sorted_keys[1:] != sorted_keys[:-1]) | (
-                sorted_suffix[1:] != sorted_suffix[:-1]
-            )
-            starts = np.flatnonzero(new_group)
-            out: dict[tuple[int, int], dict[str, Any]] = {}
-            bounds = np.append(starts, sorted_keys.size)
-            group_partials: dict[str, list[Any]] = {
-                agg.alias: _group_partials(
-                    agg, columns, sorted_sel, sorted_ids, starts, bounds, q
-                )
-                for agg in q.aggs
-            }
-            for g, start in enumerate(starts.tolist()):
-                key = int(sorted_keys[start])
-                sfx = int(sorted_suffix[start])
-                out[(key, sfx)] = {
-                    agg.alias: group_partials[agg.alias][g] for agg in q.aggs
-                }
-            return out
-
-        tasks = [lambda p=p: map_task(p) for p in table.partitions]
-        map_out, _ = self.cluster.run_stage("group-map", tasks, metrics)
+        calls = [(part, q, build) for part in table.partitions]
+        map_out, _ = self.cluster.map_stage(
+            "group-map", grouped_map_task, calls, metrics
+        )
 
         # Shuffle: every (key, suffix) partial crosses the network once.
         shuffle_bytes = 0
@@ -538,20 +584,10 @@ class SeabedServer:
 
         shards = self.cluster.run_driver("shuffle-partition", shard, metrics)
 
-        def reduce_task(ridx: int) -> list[tuple[int, int, dict[str, Any]]]:
-            merged: list[tuple[int, int, dict[str, Any]]] = []
-            for key, entries in shards[ridx].items():
-                per_agg = {}
-                for agg in q.aggs:
-                    pieces = [
-                        e[agg.alias] for e in entries if e[agg.alias] is not None
-                    ]
-                    per_agg[agg.alias] = merge_payloads(agg, pieces)
-                merged.append((key[0], key[1], per_agg))
-            return merged
-
-        reduce_tasks = [lambda r=r: reduce_task(r) for r in range(num_reducers)]
-        reduced, _ = self.cluster.run_stage("group-reduce", reduce_tasks, metrics)
+        reduce_calls = [(shards[r], q.aggs) for r in range(num_reducers)]
+        reduced, _ = self.cluster.map_stage(
+            "group-reduce", group_reduce_task, reduce_calls, metrics
+        )
         groups = [entry for shard in reduced for entry in shard]
         payload_bytes = sum(
             9 + sum(_payload_nbytes(v) for v in per_agg.values() if v is not None)

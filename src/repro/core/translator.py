@@ -149,7 +149,7 @@ class QueryTranslator:
                 "join queries need a ServerJoin; use SeabedClient.query, "
                 "which resolves cross-table join keys"
             )
-        base_filter, selectors = self._split_predicate(query.where)
+        base_filter, selectors = self.split_predicate(query.where)
         if query.group_by:
             return self._translate_grouped(
                 query, base_filter, selectors, join, cores, expected_groups
@@ -198,11 +198,16 @@ class QueryTranslator:
 
     # -- predicate handling ------------------------------------------------------
 
-    def _split_predicate(
+    def split_predicate(
         self, pred: Predicate | None
     ) -> tuple[srv.FilterExpr | None, list[_Selector]]:
         """Separate SPLASHE equality selections (handled by column
-        retargeting) from server-filterable predicates."""
+        retargeting) from server-filterable predicates.
+
+        Public API: the proxy's scan path uses it to reject projections
+        over SPLASHE dimensions and to obtain the server-side filter.
+        Returns ``(filter expression or None, merged SPLASHE selectors)``.
+        """
         if pred is None:
             return None, []
         conjuncts = list(pred.children) if isinstance(pred, And) else [pred]

@@ -18,6 +18,7 @@ complement (:func:`to_signed`).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -85,13 +86,21 @@ class AsheScheme:
     def __init__(self, prf: Prf):
         self._prf = prf
         self.prf_evals = 0  # running count, for the paper's AES-op statistic
+        # query_many() decrypts on several threads; `+=` on the counter is
+        # not atomic, so bumps go through a lock (one acquisition per
+        # vectorised call, not per row).
+        self._evals_lock = threading.Lock()
+
+    def _bump(self, evals: int) -> None:
+        with self._evals_lock:
+            self.prf_evals += evals
 
     # -- scalar interface ------------------------------------------------
 
     def encrypt(self, m: int, i: int) -> AsheCiphertext:
         """Encrypt one value under identifier ``i``."""
         pad = self._prf.eval_one(i) - self._prf.eval_one((i - 1) & MASK64)
-        self.prf_evals += 2
+        self._bump(2)
         return AsheCiphertext((from_signed(m) - pad) & MASK64, IdList.from_range(i, i + 1))
 
     def decrypt(self, ct: AsheCiphertext) -> int:
@@ -118,7 +127,7 @@ class AsheScheme:
             return np.empty(0, _U64)
         plain = v.astype(np.int64, copy=False).view(_U64) if v.dtype != _U64 else v
         stream = self._prf.eval_range(start_id - 1, n + 1)
-        self.prf_evals += n + 1
+        self._bump(n + 1)
         # c[j] = m[j] - F(start+j) + F(start+j-1)
         return plain - stream[1:] + stream[:-1]
 
@@ -126,7 +135,7 @@ class AsheScheme:
         """Invert :meth:`encrypt_column`; returns int64 plaintexts."""
         c = np.asarray(cipher, dtype=_U64)
         stream = self._prf.eval_range(start_id - 1, c.size + 1)
-        self.prf_evals += c.size + 1
+        self._bump(c.size + 1)
         return (c + stream[1:] - stream[:-1]).view(np.int64)
 
     def decrypt_rows(self, cipher: np.ndarray, ids: np.ndarray) -> np.ndarray:
@@ -135,7 +144,7 @@ class AsheScheme:
         c = np.asarray(cipher, dtype=_U64)
         arr = np.asarray(ids, dtype=_U64)
         pads = self._prf.eval_many(arr) - self._prf.eval_many(arr - _ONE)
-        self.prf_evals += 2 * arr.size
+        self._bump(2 * arr.size)
         return (c + pads).view(np.int64)
 
     def aggregate(self, cipher: np.ndarray, mask: np.ndarray | None, start_id: int) -> AsheCiphertext:
@@ -177,7 +186,7 @@ class AsheScheme:
         if arr.size == 0:
             return np.empty(0, _U64)
         pads = self._prf.eval_many(arr) - self._prf.eval_many(arr - _ONE)
-        self.prf_evals += 2 * arr.size
+        self._bump(2 * arr.size)
         return pads
 
     def pad_for_multiset(self, ids: np.ndarray) -> int:
@@ -186,7 +195,7 @@ class AsheScheme:
         if arr.size == 0:
             return 0
         pads = self._prf.eval_many(arr) - self._prf.eval_many(arr - _ONE)
-        self.prf_evals += 2 * arr.size
+        self._bump(2 * arr.size)
         return int(np.add.reduce(pads)) & MASK64
 
     def decrypt_sum_multiset(self, value: int, ids: np.ndarray) -> int:
@@ -201,7 +210,7 @@ class AsheScheme:
         if arr.size == 0:
             return to_signed(value)
         pads = self._prf.eval_many(arr) - self._prf.eval_many(arr - _ONE)
-        self.prf_evals += 2 * arr.size
+        self._bump(2 * arr.size)
         total = int(np.add.reduce(pads)) & MASK64
         return to_signed((value + total) & MASK64)
 
@@ -213,7 +222,7 @@ class AsheScheme:
             return 0
         ends = self._prf.eval_many(ids.ends)
         starts = self._prf.eval_many(ids.starts - _ONE)
-        self.prf_evals += 2 * ids.num_runs
+        self._bump(2 * ids.num_runs)
         total = int(np.add.reduce(ends - starts)) & MASK64
         return total
 

@@ -179,17 +179,23 @@ class AesCtrPrf(Prf):
 
         key = _require_key(key, minimum=16)
         self._aes = Aes128(key[:16])
-        self._cache_block = -1
-        self._cache_bytes = b""
+        # One (block index, block bytes) pair, kept in a single attribute
+        # so concurrent readers (query_many fans decryption out across
+        # threads) always see a consistent index/bytes snapshot.
+        self._cache: tuple[int, bytes] = (-1, b"")
 
     def eval_one(self, i: int) -> int:
         i &= MASK64
         block_index = i >> 1
-        if block_index != self._cache_block:
-            self._cache_bytes = self._aes.encrypt_block(block_index.to_bytes(16, "big"))
-            self._cache_block = block_index
+        cached = self._cache
+        if cached[0] != block_index:
+            cached = (
+                block_index,
+                self._aes.encrypt_block(block_index.to_bytes(16, "big")),
+            )
+            self._cache = cached
         lane = i & 1
-        return int.from_bytes(self._cache_bytes[8 * lane : 8 * lane + 8], "big")
+        return int.from_bytes(cached[1][8 * lane : 8 * lane + 8], "big")
 
 
 _BACKENDS = {

@@ -10,6 +10,10 @@ deliberately transparent equivalent:
   per-partition tasks for real (measuring wall time) and then schedules the
   measured durations onto N simulated cores to obtain the cluster
   makespan; a bandwidth/latency model covers shuffle and client transfer.
+- :mod:`repro.engine.backends` -- pluggable execution backends (serial /
+  threads / processes) that decide how those task bodies actually run on
+  the host, turning the simulated cluster into a genuinely parallel one
+  while leaving the simulated schedule untouched.
 - :mod:`repro.engine.metrics` -- per-stage and per-job timing accounting.
 - :mod:`repro.engine.storage` -- table (de)serialisation and the disk /
   memory accounting behind the paper's Table 5.
@@ -24,6 +28,7 @@ worker-side compression, shuffle volume, driver merge -- executes for real
 here; only the placement of tasks onto cores is simulated.
 """
 
+from repro.engine.backends import ExecutionBackend, make_backend
 from repro.engine.cluster import ClusterConfig, SimulatedCluster
 from repro.engine.metrics import JobMetrics, StageMetrics
 from repro.engine.rdd import RDD
@@ -31,10 +36,12 @@ from repro.engine.table import Partition, Table
 
 __all__ = [
     "ClusterConfig",
+    "ExecutionBackend",
     "JobMetrics",
     "Partition",
     "RDD",
     "SimulatedCluster",
     "StageMetrics",
     "Table",
+    "make_backend",
 ]

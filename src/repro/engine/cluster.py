@@ -19,11 +19,13 @@ effect on job latency can be studied without waiting for a real GC.
 from __future__ import annotations
 
 import heapq
+import threading
 import time
 from dataclasses import dataclass, replace
 from random import Random
 from typing import Callable, Sequence, TypeVar
 
+from repro.engine.backends import ExecutionBackend, TimedResult, make_backend
 from repro.engine.metrics import JobMetrics, StageMetrics
 from repro.errors import ExecutionError
 
@@ -40,6 +42,23 @@ class ClusterConfig:
     Defaults approximate the paper's testbed: 100-core jobs see a ~0.6 s
     floor from job/task creation (Figure 6a), a 2 Gbps client link, and a
     fast intra-cluster network.
+
+    Execution-backend knobs (see :mod:`repro.engine.backends`):
+
+    - ``backend`` selects how task bodies actually run: ``"serial"``
+      (the default -- one after another on the calling thread, exactly
+      the seed behaviour), ``"threads"`` (a ``ThreadPoolExecutor``;
+      numpy kernels release the GIL so stages overlap on real cores),
+      or ``"processes"`` (a ``ProcessPoolExecutor`` for CPU-bound
+      pure-Python stages such as Paillier products; stage bodies must
+      be picklable top-level functions, which the server's are).
+    - ``workers`` sizes the pool; ``0`` means one worker per host CPU.
+
+    The choice of backend changes only *real* wall-clock (reported per
+    stage as ``StageMetrics.wall_time`` and per job as
+    ``JobMetrics.real_time``); the *simulated* makespan is still computed
+    from per-task measured durations placed onto ``cores`` simulated
+    cores, so figure benchmarks are backend-independent.
     """
 
     cores: int = 16
@@ -52,6 +71,8 @@ class ClusterConfig:
     straggler_prob: float = 0.0
     straggler_factor: float = 8.0
     seed: int = 0
+    backend: str = "serial"  # "serial" | "threads" | "processes"
+    workers: int = 0  # pool width; 0 -> one worker per host CPU
 
     def with_cores(self, cores: int) -> "ClusterConfig":
         return replace(self, cores=cores)
@@ -62,6 +83,9 @@ class ClusterConfig:
             client_bandwidth_bytes_s=bandwidth_bytes_s,
             client_latency_s=latency_s,
         )
+
+    def with_backend(self, backend: str, workers: int = 0) -> "ClusterConfig":
+        return replace(self, backend=backend, workers=workers)
 
 
 def makespan(durations: Sequence[float], cores: int) -> float:
@@ -78,11 +102,31 @@ def makespan(durations: Sequence[float], cores: int) -> float:
 
 
 class SimulatedCluster:
-    """Executes stages of tasks and accounts simulated time."""
+    """Executes stages of tasks and accounts simulated time.
 
-    def __init__(self, config: ClusterConfig | None = None):
+    Task bodies run through a pluggable :class:`ExecutionBackend`
+    (serial / threads / processes); the *simulated* schedule is computed
+    from the measured per-task durations regardless of how they actually
+    ran, while the stage's *real* wall-clock is recorded alongside it.
+    """
+
+    def __init__(
+        self,
+        config: ClusterConfig | None = None,
+        backend: ExecutionBackend | None = None,
+    ):
         self.config = config or ClusterConfig()
         self._rng = Random(self.config.seed)
+        # query_many() may drive stages from several threads at once; the
+        # straggler RNG is the only shared mutable state on this path.
+        self._rng_lock = threading.Lock()
+        self.backend = backend or make_backend(
+            self.config.backend, self.config.workers or None
+        )
+
+    def close(self) -> None:
+        """Shut down any worker pool held by the backend (idempotent)."""
+        self.backend.close()
 
     # -- stage execution -----------------------------------------------------
 
@@ -92,21 +136,59 @@ class SimulatedCluster:
         tasks: Sequence[Callable[[], T]],
         metrics: JobMetrics | None = None,
     ) -> tuple[list[T], StageMetrics]:
-        """Run every task, measure it, and simulate the stage makespan."""
-        results: list[T] = []
+        """Run every task, measure it, and simulate the stage makespan.
+
+        Tasks are zero-arg callables (closures allowed); the ``processes``
+        backend executes this legacy form in-process.  New code should
+        prefer :meth:`map_stage`, which every backend can parallelise.
+        """
+        wall0 = time.perf_counter()
+        timed = self.backend.run_tasks(list(tasks))
+        wall = time.perf_counter() - wall0
+        return self._finish_stage(name, timed, wall, metrics)
+
+    def map_stage(
+        self,
+        name: str,
+        fn: Callable[..., T],
+        calls: Sequence[tuple],
+        metrics: JobMetrics | None = None,
+    ) -> tuple[list[T], StageMetrics]:
+        """Run ``fn(*call)`` per call through the backend.
+
+        ``fn`` must be a top-level function and the call tuples picklable
+        so the ``processes`` backend can ship them to workers -- the same
+        contract Spark imposes on task closures.
+        """
+        wall0 = time.perf_counter()
+        timed = self.backend.map_calls(fn, list(calls))
+        wall = time.perf_counter() - wall0
+        return self._finish_stage(name, timed, wall, metrics)
+
+    def _finish_stage(
+        self,
+        name: str,
+        timed: Sequence[TimedResult],
+        wall: float,
+        metrics: JobMetrics | None,
+    ) -> tuple[list, StageMetrics]:
+        results: list = []
         times: list[float] = []
-        for task in tasks:
-            t0 = time.perf_counter()
-            results.append(task())
-            elapsed = time.perf_counter() - t0
+        for result, elapsed in timed:
+            results.append(result)
             simulated = elapsed + self.config.task_startup_s
-            if (
-                self.config.straggler_prob > 0.0
-                and self._rng.random() < self.config.straggler_prob
-            ):
-                simulated *= self.config.straggler_factor
+            if self.config.straggler_prob > 0.0:
+                with self._rng_lock:
+                    straggles = self._rng.random() < self.config.straggler_prob
+                if straggles:
+                    simulated *= self.config.straggler_factor
             times.append(simulated)
-        stage = StageMetrics(name=name, task_times=times, makespan=makespan(times, self.config.cores))
+        stage = StageMetrics(
+            name=name,
+            task_times=times,
+            makespan=makespan(times, self.config.cores),
+            wall_time=wall,
+        )
         if metrics is not None:
             metrics.add_stage(stage)
         return results, stage
@@ -118,7 +200,9 @@ class SimulatedCluster:
         t0 = time.perf_counter()
         result = fn()
         elapsed = time.perf_counter() - t0
-        stage = StageMetrics(name=name, task_times=[elapsed], makespan=elapsed)
+        stage = StageMetrics(
+            name=name, task_times=[elapsed], makespan=elapsed, wall_time=elapsed
+        )
         if metrics is not None:
             metrics.add_stage(stage)
         return result

@@ -14,11 +14,18 @@ from dataclasses import dataclass, field
 
 @dataclass
 class StageMetrics:
-    """One executed stage."""
+    """One executed stage.
+
+    ``task_times`` and ``makespan`` belong to the *simulated* schedule;
+    ``wall_time`` is the real elapsed time the stage took on this host,
+    which depends on the cluster's execution backend (serial / threads /
+    processes) and the physical core count.
+    """
 
     name: str
     task_times: list[float]
     makespan: float
+    wall_time: float = 0.0
 
     @property
     def num_tasks(self) -> int:
@@ -50,6 +57,12 @@ class JobMetrics:
         return self.job_startup + sum(s.makespan for s in self.stages) + self.shuffle_time
 
     @property
+    def real_time(self) -> float:
+        """Measured wall-clock actually spent executing stages on this
+        host (no simulation, no modelled network)."""
+        return sum(s.wall_time for s in self.stages)
+
+    @property
     def total_time(self) -> float:
         """End-to-end latency as the client experiences it."""
         return self.server_time + self.network_time + self.client_time
@@ -63,6 +76,7 @@ class JobMetrics:
     def summary(self) -> dict[str, float]:
         return {
             "server_s": self.server_time,
+            "real_s": self.real_time,
             "network_s": self.network_time,
             "client_s": self.client_time,
             "total_s": self.total_time,

@@ -1,0 +1,140 @@
+"""Tests for the pluggable execution backends (repro.engine.backends)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.engine.backends import (
+    BACKENDS,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    default_workers,
+    make_backend,
+    timed_call,
+)
+from repro.errors import ExecutionError
+
+
+def square(x):
+    """Top-level so the process backend can pickle it."""
+    return x * x
+
+
+def add(a, b):
+    return a + b
+
+
+class TestFactory:
+    def test_known_names(self):
+        assert set(BACKENDS) == {"serial", "threads", "processes"}
+        for name, cls in BACKENDS.items():
+            backend = make_backend(name, 2)
+            try:
+                assert isinstance(backend, cls)
+                assert backend.name == name
+            finally:
+                backend.close()
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ExecutionError, match="unknown execution backend"):
+            make_backend("spark")
+
+    def test_default_workers_fill_in(self):
+        backend = make_backend("threads", None)
+        assert backend.workers == default_workers()
+        backend.close()
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ExecutionError, match="at least one worker"):
+            make_backend("threads", -1)
+
+    def test_serial_defaults_to_one_worker(self):
+        assert SerialBackend().workers == 1
+
+
+class TestTimedCall:
+    def test_measures_and_returns(self):
+        result, elapsed = timed_call(add, (2, 3))
+        assert result == 5
+        assert elapsed >= 0.0
+
+
+@pytest.mark.parametrize("name", ["serial", "threads", "processes"])
+class TestAllBackends:
+    def test_map_calls_ordered(self, name):
+        backend = make_backend(name, 2)
+        try:
+            out = backend.map_calls(square, [(i,) for i in range(7)])
+            assert [r for r, _ in out] == [i * i for i in range(7)]
+            assert all(t >= 0.0 for _, t in out)
+        finally:
+            backend.close()
+
+    def test_run_tasks_accepts_closures(self, name):
+        # Closures work on every backend: the process pool falls back to
+        # in-process execution for the legacy zero-arg-callable API.
+        backend = make_backend(name, 2)
+        try:
+            out = backend.run_tasks([lambda i=i: i + 10 for i in range(5)])
+            assert [r for r, _ in out] == [10, 11, 12, 13, 14]
+        finally:
+            backend.close()
+
+    def test_empty_stage(self, name):
+        backend = make_backend(name, 2)
+        try:
+            assert backend.map_calls(square, []) == []
+            assert backend.run_tasks([]) == []
+        finally:
+            backend.close()
+
+    def test_close_idempotent(self, name):
+        backend = make_backend(name, 2)
+        backend.map_calls(square, [(1,), (2,)])
+        backend.close()
+        backend.close()
+        # The pool is recreated lazily after close.
+        assert [r for r, _ in backend.map_calls(square, [(3,), (4,)])] == [9, 16]
+        backend.close()
+
+
+class TestThreadBackend:
+    def test_actually_concurrent(self):
+        backend = ThreadBackend(4)
+        try:
+            gate = threading.Barrier(4, timeout=5)
+
+            def wait_at_gate(_):
+                gate.wait()  # deadlocks unless all 4 run at once
+                return threading.current_thread().name
+
+            out = backend.map_calls(wait_at_gate, [(i,) for i in range(4)])
+            names = {r for r, _ in out}
+            assert len(names) == 4
+        finally:
+            backend.close()
+
+
+class TestProcessBackend:
+    def test_runs_in_other_processes(self):
+        import os
+
+        backend = ProcessBackend(2)
+        try:
+            out = backend.map_calls(os.getpid, [(), ()])
+            pids = {r for r, _ in out}
+            assert os.getpid() not in pids
+        finally:
+            backend.close()
+
+    def test_single_call_skips_pool(self):
+        backend = ProcessBackend(2)
+        try:
+            # One-task stages run inline -- even unpicklable fns work.
+            out = backend.map_calls(lambda: 42, [()])
+            assert out[0][0] == 42
+            assert backend._executor is None
+        finally:
+            backend.close()

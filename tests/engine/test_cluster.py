@@ -2,8 +2,14 @@
 
 import pytest
 
+from repro.engine.backends import SerialBackend, ThreadBackend
 from repro.engine.cluster import ClusterConfig, SimulatedCluster, makespan
 from repro.errors import ExecutionError
+
+
+def double(x):
+    """Top-level so process backends could pickle it."""
+    return 2 * x
 
 
 class TestMakespan:
@@ -57,6 +63,58 @@ class TestStageExecution:
         out = cluster.run_driver("merge", lambda: 42, job)
         assert out == 42
         assert job.stage("merge").num_tasks == 1
+
+    def test_map_stage_dispatches_args(self):
+        cluster = SimulatedCluster(ClusterConfig(cores=2))
+        results, stage = cluster.map_stage("s", double, [(i,) for i in range(5)])
+        assert results == [0, 2, 4, 6, 8]
+        assert stage.num_tasks == 5
+
+    def test_wall_time_recorded(self):
+        cluster = SimulatedCluster(ClusterConfig(cores=2))
+        job = cluster.new_job()
+        cluster.run_stage("a", [lambda: 1], job)
+        cluster.map_stage("b", double, [(1,)], job)
+        assert all(s.wall_time > 0.0 for s in job.stages)
+        assert job.real_time == pytest.approx(sum(s.wall_time for s in job.stages))
+
+
+class TestBackendSelection:
+    def test_serial_is_default(self):
+        cluster = SimulatedCluster()
+        assert isinstance(cluster.backend, SerialBackend)
+
+    def test_config_selects_backend(self):
+        cluster = SimulatedCluster(ClusterConfig(backend="threads", workers=3))
+        try:
+            assert isinstance(cluster.backend, ThreadBackend)
+            assert cluster.backend.workers == 3
+        finally:
+            cluster.close()
+
+    def test_with_backend_builder(self):
+        config = ClusterConfig().with_backend("processes", workers=4)
+        assert (config.backend, config.workers) == ("processes", 4)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ExecutionError, match="unknown execution backend"):
+            SimulatedCluster(ClusterConfig(backend="mapreduce"))
+
+    def test_injected_backend_wins(self):
+        backend = SerialBackend()
+        cluster = SimulatedCluster(ClusterConfig(backend="threads"), backend=backend)
+        assert cluster.backend is backend
+
+    def test_same_results_across_backends(self):
+        calls = [(i,) for i in range(8)]
+        serial = SimulatedCluster(ClusterConfig(backend="serial"))
+        threads = SimulatedCluster(ClusterConfig(backend="threads", workers=2))
+        try:
+            r1, _ = serial.map_stage("s", double, calls)
+            r2, _ = threads.map_stage("s", double, calls)
+            assert r1 == r2
+        finally:
+            threads.close()
 
 
 class TestStragglers:
@@ -126,6 +184,6 @@ class TestJobMetrics:
         cluster.run_stage("s", [lambda: 0], job)
         summary = job.summary()
         assert set(summary) == {
-            "server_s", "network_s", "client_s", "total_s",
+            "server_s", "real_s", "network_s", "client_s", "total_s",
             "result_bytes", "shuffle_bytes",
         }

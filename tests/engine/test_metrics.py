@@ -26,6 +26,14 @@ class TestJobMetrics:
         job.client_time = 0.2
         assert job.total_time == pytest.approx(0.3)
 
+    def test_real_time_sums_wall_clock(self):
+        job = JobMetrics(job_startup=0.25)
+        job.add_stage(StageMetrics("map", [0.4, 0.4], 0.4, wall_time=0.21))
+        job.add_stage(StageMetrics("reduce", [0.1], 0.1, wall_time=0.1))
+        # Real wall-clock is independent of the simulated schedule.
+        assert job.real_time == pytest.approx(0.31)
+        assert job.server_time == pytest.approx(0.25 + 0.4 + 0.1)
+
     def test_stage_lookup(self):
         job = JobMetrics()
         job.add_stage(StageMetrics("merge", [0.1], 0.1))
