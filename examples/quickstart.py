@@ -1,20 +1,23 @@
 #!/usr/bin/env python3
-"""Quickstart: encrypted analytics over a sales table in ~40 lines.
+"""Quickstart: encrypted analytics over a sales table with the session API.
 
 Demonstrates the full Seabed loop from the paper's Figure 5:
 
 1. describe the plaintext schema (what is sensitive, what the domains are),
 2. let the planner pick encryption schemes from sample queries,
-3. upload data (the proxy encrypts; the server sees only ciphertexts),
-4. run SQL and get plaintext answers back with a latency breakdown.
+3. upload data (the session encrypts; the server sees only ciphertexts),
+4. query three ways -- SQL strings (translation cached by shape), the
+   fluent builder, and a PreparedQuery that translates once and re-binds
+   parameters on every execute.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro.core.proxy import SeabedClient
+from repro import SeabedSession, col
 from repro.core.schema import ColumnSpec, TableSchema
+from repro.ops import OPS
 
 rng = np.random.default_rng(42)
 N = 50_000
@@ -37,29 +40,28 @@ schema = TableSchema("sales", [
     ColumnSpec("amount", dtype="int", sensitive=True, nbits=32),
     ColumnSpec("year", dtype="int", sensitive=False),
 ])
-client = SeabedClient(mode="seabed")
-report = client.create_plan(schema, [
+session = SeabedSession(mode="seabed")
+session.create_plan(schema, [
     "SELECT sum(amount) FROM sales WHERE country = 'us'",
     "SELECT country, sum(amount) FROM sales GROUP BY country",
     "SELECT min(amount), max(amount) FROM sales",
 ])
 print("Encrypted schema plans:")
-for name, plan in client.encrypted_schema("sales").plans.items():
+for name, plan in session.encrypted_schema("sales").plans.items():
     print(f"  {name:10s} -> {plan.kind}")
 
 # -- 3. upload (encrypts client-side) ----------------------------------------------
-stats = client.upload("sales", data, num_partitions=8)
+stats = session.upload("sales", data, num_partitions=8)
 print(f"\nUploaded {stats.rows:,} rows as {stats.physical_columns} physical "
       f"columns in {stats.encrypt_seconds:.2f}s")
 
-# -- 4. query ---------------------------------------------------------------------
+# -- 4a. SQL strings (same-shape queries share one cached translation) --------------
 for sql in [
     "SELECT sum(amount) FROM sales",
     "SELECT sum(amount), count(*) FROM sales WHERE country = 'in'",
     "SELECT country, avg(amount) FROM sales GROUP BY country",
-    "SELECT min(amount), max(amount) FROM sales WHERE year = 2015",
 ]:
-    result = client.query(sql, expected_groups=len(COUNTRIES))
+    result = session.query(sql, expected_groups=len(COUNTRIES))
     print(f"\n{sql}")
     for row in result.rows[:5]:
         print(f"   {row}")
@@ -67,3 +69,27 @@ for sql in [
           f"network {result.network_time*1e3:.2f} ms | "
           f"client {result.client_time*1e3:.1f} ms | "
           f"result {result.result_bytes} bytes]")
+
+# -- 4b. the fluent builder ----------------------------------------------------------
+result = (
+    session.table("sales")
+    .where(col("year") == 2015)
+    .min("amount")
+    .max("amount")
+    .execute()
+)
+print("\nbuilder: min/max of 2015 sales ->", result.rows[0])
+
+# -- 4c. prepare once, execute per tenant -------------------------------------------
+prepared = session.prepare(
+    "SELECT sum(amount), count(*) FROM sales WHERE year BETWEEN :lo AND :hi"
+)
+before = OPS.snapshot()
+print("\nprepared: yearly windows (translated once, tokens re-bound per call)")
+for lo, hi in [(2013, 2013), (2014, 2015), (2013, 2016)]:
+    row = prepared.execute(lo=lo, hi=hi).rows[0]
+    print(f"   {lo}-{hi}: sum={row['sum(amount)']:,} n={row['count(*)']:,}")
+delta = OPS.delta(before)
+print(f"   [ops during 3 executes: translate={delta.get('translate', 0)} "
+      f"parse={delta.get('parse', 0)} plan={delta.get('plan', 0)}]")
+print(f"\ntranslation cache: {session.cache_stats()}")

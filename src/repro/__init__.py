@@ -8,8 +8,15 @@ the paper's Spark deployment.
 
 Public entry points:
 
-- :class:`repro.core.proxy.SeabedClient` -- the client-side proxy (plan,
-  upload, query, scan, linear_regression).
+- :class:`repro.core.session.SeabedSession` -- the client-side session
+  facade (plan, upload, fluent ``table()`` builder, ``prepare``/cached
+  ``query``, scan, linear_regression).
+- :class:`repro.core.session.PreparedQuery` -- translate once, execute
+  many times with bound parameters.
+- :class:`repro.query.builder.QueryBuilder` / :func:`col` -- the fluent
+  query builder, and :class:`repro.query.ast.Param` for placeholders.
+- :class:`repro.core.proxy.SeabedClient` -- deprecated back-compat shim
+  over ``SeabedSession``.
 - :class:`repro.core.schema.TableSchema` / :class:`ColumnSpec` -- schema
   declarations fed to the planner.
 - :mod:`repro.crypto` -- ASHE, DET, ORE, Paillier, PRFs.
@@ -20,10 +27,25 @@ Public entry points:
 
 __version__ = "0.1.0"
 
-__all__ = ["ColumnSpec", "SeabedClient", "TableSchema", "__version__"]
+__all__ = [
+    "ColumnSpec",
+    "Param",
+    "PreparedQuery",
+    "QueryBuilder",
+    "SeabedClient",
+    "SeabedSession",
+    "TableSchema",
+    "__version__",
+    "col",
+]
 
 _LAZY = {
     "SeabedClient": ("repro.core.proxy", "SeabedClient"),
+    "SeabedSession": ("repro.core.session", "SeabedSession"),
+    "PreparedQuery": ("repro.core.session", "PreparedQuery"),
+    "QueryBuilder": ("repro.query.builder", "QueryBuilder"),
+    "col": ("repro.query.builder", "col"),
+    "Param": ("repro.query.ast", "Param"),
     "ColumnSpec": ("repro.core.schema", "ColumnSpec"),
     "TableSchema": ("repro.core.schema", "TableSchema"),
 }

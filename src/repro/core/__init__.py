@@ -18,11 +18,22 @@ This package is the paper's Figure 5 in code:
   optional inflation (Section 4.5).
 - :mod:`repro.core.decryptor` -- client-side decryption and
   post-processing (Section 4.6).
-- :mod:`repro.core.proxy` -- the :class:`SeabedClient` facade tying it all
-  together, plus NoEnc and Paillier baseline modes.
+- :mod:`repro.core.session` -- the :class:`SeabedSession` facade tying it
+  all together (prepared queries, translation cache, NoEnc and Paillier
+  baseline modes).
+- :mod:`repro.core.proxy` -- the deprecated :class:`SeabedClient` shim
+  over the session API.
 """
 
 from repro.core.proxy import SeabedClient
 from repro.core.schema import ColumnSpec, Sensitivity, TableSchema
+from repro.core.session import PreparedQuery, SeabedSession
 
-__all__ = ["ColumnSpec", "SeabedClient", "Sensitivity", "TableSchema"]
+__all__ = [
+    "ColumnSpec",
+    "PreparedQuery",
+    "SeabedClient",
+    "SeabedSession",
+    "Sensitivity",
+    "TableSchema",
+]

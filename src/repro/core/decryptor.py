@@ -80,6 +80,53 @@ class DecryptionModule:
             raise DecryptionError(f"unknown result shape {tq.shape!r}")
         return order_and_limit(rows, tq.query)
 
+    # -- scan (projection) results ------------------------------------------------
+
+    def decrypt_scan(
+        self,
+        requested: list[str],
+        physical: dict[str, tuple[str, str]],
+        response: srv.ServerResponse,
+    ) -> list[dict[str, Any]]:
+        """Decrypt a projection (scan) response row-by-row.
+
+        ``physical`` maps each requested logical column to its
+        ``(physical column, scheme kind)`` pair, resolved once at
+        preparation time (Section 4.6: two PRF evaluations per ASHE
+        cell).
+        """
+        cols = response.flat["columns"]
+        ids = response.flat["ids"]
+        decoded: dict[str, Any] = {}
+        for name, (col, kind) in physical.items():
+            raw = cols[col]
+            if kind == "plain":
+                spec = self._state.schema.column(name)
+                if spec.dtype == "str":
+                    decoded[name] = self._state.dictionaries[name].decode_column(raw)
+                else:
+                    decoded[name] = raw.tolist()
+            elif kind == "ashe":
+                scheme = self._factory.ashe(col)
+                decoded[name] = scheme.decrypt_rows(raw, ids).tolist()
+            elif kind == "paillier":
+                if self._paillier is None:
+                    raise DecryptionError("paillier scan without a scheme")
+                decoded[name] = [self._paillier.decrypt_crt(int(c)) for c in raw]
+            else:
+                plan = self._state.enc_schema.plan(name)
+                det = self._factory.det(col, getattr(plan, "join_group", None))
+                codes = det.decrypt_column(raw)
+                spec = self._state.schema.column(name)
+                if spec.dtype == "str":
+                    decoded[name] = self._state.dictionaries[name].decode_column(codes)
+                else:
+                    decoded[name] = codes.tolist()
+        return [
+            {name: decoded[name][j] for name in requested}
+            for j in range(len(ids))
+        ]
+
     # -- payload decryption -------------------------------------------------------
 
     def _decrypt_payload(self, payload: Any, agg: srv.AggOp) -> Any:

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from repro.core import schema as sc
 from repro.core.splashe import choose_k, storage_overhead_factor
 from repro.errors import PlanningError
+from repro.ops import OPS
 from repro.query.ast import (
     ORDER_AGGS,
     QUADRATIC_AGGS,
@@ -107,6 +108,7 @@ class Planner:
         sample_queries: list[Query],
         storage_budget: float | None = None,
     ) -> tuple[sc.EncryptedSchema, PlannerReport]:
+        OPS.bump("plan")
         usages = analyze_usage(sample_queries)
         warnings: list[str] = []
         decisions: list[SplasheDecision] = []

@@ -1,541 +1,54 @@
-"""The Seabed client-side proxy (paper Figure 5).
+"""Back-compat shim: the legacy ``SeabedClient`` name for the session API.
 
-:class:`SeabedClient` is the trusted component users interact with; it
-hides every cryptographic operation behind three verbs, mirroring
-Section 4.1:
+The client surface described in the paper's Figure 5 now lives in
+:mod:`repro.core.session`: :class:`~repro.core.session.SeabedSession`
+owns the keychain, planner, table registry, and cluster, and every read
+path (``query``, ``query_many``, ``scan``, ``linear_regression``) routes
+through the shared :class:`~repro.core.session.PreparedQuery` execution
+path with an LRU translation cache.  The fluent builder lives in
+:mod:`repro.query.builder`.
 
-- :meth:`SeabedClient.create_plan` -- run the data planner on a plaintext
-  schema plus sample queries;
-- :meth:`SeabedClient.upload` -- encrypt plaintext batches into the
-  server-side physical schema (incremental; inserts append);
-- :meth:`SeabedClient.query` -- translate, execute on the untrusted
-  server, decrypt, post-process, and return plaintext rows with full
-  timing metrics.  :meth:`SeabedClient.query_many` batches independent
-  queries and fans them out through the cluster's execution backend.
+:class:`SeabedClient` is kept as a thin shim so existing code --
+examples, benchmarks, integration tests -- runs unchanged; it adds no
+behaviour of its own and is slated for removal once downstream callers
+migrate.  New code should instantiate :class:`SeabedSession` directly::
 
-``mode`` selects the paper's three compared systems over one pipeline:
-``seabed`` (ASHE/SPLASHE/DET/ORE), ``paillier`` (the CryptDB/Monomi-style
-baseline: Paillier measures, DET/ORE dimensions), and ``plain`` (NoEnc).
-Cross-table join keys and shared dictionaries are resolved here, which is
-why join queries must go through the proxy.
+    from repro import SeabedSession, col
+
+    session = SeabedSession(mode="seabed")
+    session.create_plan(schema, sample_queries)
+    session.upload("sales", columns)
+    session.table("sales").where(col("country") == "us").sum("amount").execute()
+
+The result dataclasses (``QueryResult``, ``UploadStats``,
+``LinRegResult``) are re-exported here for import compatibility.
 """
 
 from __future__ import annotations
 
-import time
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping
+from repro.core.session import (
+    LinRegResult,
+    PreparedQuery,
+    QueryResult,
+    SeabedSession,
+    UploadStats,
+    _CompositeFactory,
+)
 
-import numpy as np
-
-from repro.core import schema as sc
-from repro.core import server as srv
-from repro.core.access import AccessController
-from repro.core.crypto_factory import CryptoFactory
-from repro.core.decryptor import DecryptionModule
-from repro.core.encryptor import ClientTableState, EncryptionModule
-from repro.core.planner import Planner, PlannerReport
-from repro.core.translator import QueryTranslator, TranslatedQuery
-from repro.crypto.det import DictionaryEncoder
-from repro.crypto.keys import KeyChain
-from repro.crypto.paillier import PaillierKeyPair, PaillierScheme
-from repro.engine.cluster import SimulatedCluster
-from repro.engine.metrics import JobMetrics
-from repro.errors import PlanningError, TranslationError
-from repro.query.ast import Query
-from repro.query.executor import order_and_limit
-from repro.query.parser import parse_query
+__all__ = [
+    "LinRegResult",
+    "PreparedQuery",
+    "QueryResult",
+    "SeabedClient",
+    "UploadStats",
+]
 
 
-@dataclass
-class QueryResult:
-    """Plaintext rows plus the timing breakdown of one query."""
+class SeabedClient(SeabedSession):
+    """Deprecated alias of :class:`~repro.core.session.SeabedSession`.
 
-    rows: list[dict[str, Any]]
-    request_metrics: list[JobMetrics] = field(default_factory=list)
-    client_time: float = 0.0
-    translation: TranslatedQuery | None = None
-
-    @property
-    def server_time(self) -> float:
-        return sum(m.server_time for m in self.request_metrics)
-
-    @property
-    def network_time(self) -> float:
-        return sum(m.network_time for m in self.request_metrics)
-
-    @property
-    def result_bytes(self) -> int:
-        return sum(m.result_bytes for m in self.request_metrics)
-
-    @property
-    def total_time(self) -> float:
-        return self.server_time + self.network_time + self.client_time
-
-    @property
-    def category(self) -> str:
-        return self.translation.category if self.translation else "S"
-
-
-@dataclass
-class UploadStats:
-    table: str
-    rows: int
-    encrypt_seconds: float
-    physical_columns: int
-
-
-@dataclass
-class LinRegResult:
-    """Output of the two-round-trip linear regression (category 2R)."""
-
-    slope: float
-    intercept: float
-    r_squared: float
-    n: int
-    round_trips: int
-    request_metrics: list[JobMetrics] = field(default_factory=list)
-
-    @property
-    def total_time(self) -> float:
-        return sum(m.total_time for m in self.request_metrics)
-
-
-class SeabedClient:
-    """The trusted proxy: planner + encryptor + translator + decryptor."""
-
-    def __init__(
-        self,
-        master_key: bytes | None = None,
-        mode: str = "seabed",
-        cluster: SimulatedCluster | None = None,
-        server: srv.SeabedServer | None = None,
-        prf_backend: str = "splitmix64",
-        paillier_bits: int = 1024,
-        paillier_keys: PaillierKeyPair | None = None,
-        paillier_blinding_pool: int | None = None,
-        access_control: bool = False,
-        seed: int | None = 0,
-    ):
-        if mode not in ("seabed", "paillier", "plain"):
-            raise PlanningError(f"unknown client mode {mode!r}")
-        self.mode = mode
-        self.cluster = cluster or SimulatedCluster()
-        self.server = server or srv.SeabedServer(self.cluster)
-        self._keychain = (
-            KeyChain(master_key) if master_key is not None else KeyChain.generate()
-        )
-        self._prf_backend = prf_backend
-        self._planner = Planner(mode=mode)
-        self._states: dict[str, ClientTableState] = {}
-        self._factories: dict[str, CryptoFactory] = {}
-        self._sample_queries: dict[str, list[Query]] = {}
-        self._join_dictionaries: dict[str, DictionaryEncoder] = {}
-        self._seed = seed
-        self._paillier: PaillierScheme | None = None
-        if mode == "paillier":
-            keys = paillier_keys or PaillierKeyPair.generate(
-                bits=paillier_bits, seed=seed
-            )
-            self._paillier = PaillierScheme(
-                keys, seed=seed, blinding_pool=paillier_blinding_pool
-            )
-        self.reports: dict[str, PlannerReport] = {}
-        self.access: AccessController | None = (
-            AccessController() if access_control else None
-        )
-
-    # -- planning ---------------------------------------------------------------
-
-    def create_plan(
-        self,
-        schema: sc.TableSchema,
-        sample_queries: list[str | Query],
-        storage_budget: float | None = None,
-    ) -> PlannerReport:
-        queries = [
-            parse_query(q) if isinstance(q, str) else q for q in sample_queries
-        ]
-        enc_schema, report = self._planner.plan(
-            schema, queries, storage_budget=storage_budget
-        )
-        self._states[schema.name] = ClientTableState(
-            schema=schema, enc_schema=enc_schema
-        )
-        self._factories[schema.name] = CryptoFactory(
-            self._keychain, schema.name, prf_backend=self._prf_backend
-        )
-        self._sample_queries[schema.name] = queries
-        self.reports[schema.name] = report
-        self._link_join_groups()
-        return report
-
-    def _link_join_groups(self) -> None:
-        """Give equi-joined DET columns a shared key and dictionary so
-        their ciphertexts match across tables."""
-        for queries in self._sample_queries.values():
-            for q in queries:
-                if q.join is None:
-                    continue
-                left_table = q.table
-                right_table = q.join.table
-                if left_table not in self._states or right_table not in self._states:
-                    continue
-                left_state = self._states[left_table]
-                right_state = self._states[right_table]
-                group = "&".join(sorted([
-                    f"{left_table}.{q.join.left_column}",
-                    f"{right_table}.{q.join.right_column}",
-                ]))
-                shared = self._join_dictionaries.setdefault(group, DictionaryEncoder())
-                for state, column in (
-                    (left_state, q.join.left_column),
-                    (right_state, q.join.right_column),
-                ):
-                    plan = state.enc_schema.plans.get(column)
-                    if plan is None or plan.kind not in ("det", "plain"):
-                        raise PlanningError(
-                            f"join column {column!r} must be DET-planned (or "
-                            f"plain in NoEnc mode); got "
-                            f"{plan.kind if plan else 'missing'}"
-                        )
-                    if plan.kind == "det":
-                        plan.join_group = group
-                    # Join keys must share one dictionary so codes (and
-                    # hence ciphertexts) match across the two tables.
-                    if state.schema.column(column).dtype == "str":
-                        state.dictionaries[column] = shared
-
-    # -- upload -----------------------------------------------------------------
-
-    def upload(
-        self,
-        table: str,
-        columns: Mapping[str, Any],
-        num_partitions: int = 8,
-    ) -> UploadStats:
-        state = self._state(table)
-        encryptor = EncryptionModule(
-            self._factories[table], paillier=self._paillier, seed=self._seed
-        )
-        t0 = time.perf_counter()
-        encrypted = encryptor.encrypt_batch(
-            state, columns, num_partitions=num_partitions
-        )
-        elapsed = time.perf_counter() - t0
-        self.server.append(encrypted)
-        return UploadStats(
-            table=table,
-            rows=encrypted.num_rows,
-            encrypt_seconds=elapsed,
-            physical_columns=len(encrypted.column_names),
-        )
-
-    # -- querying ---------------------------------------------------------------
-
-    def query(
-        self,
-        query: str | Query,
-        expected_groups: int | None = None,
-        compress_at: str = "worker",
-        user: str | None = None,
-    ) -> QueryResult:
-        q = parse_query(query) if isinstance(query, str) else query
-        if self.access is not None:
-            self.access.check(user, q.table)
-            if q.join is not None:
-                self.access.check(user, q.join.table)
-        state = self._state(q.table)
-        factory = self._factories[q.table]
-        join_context = None
-        server_join = None
-        if q.join is not None:
-            join_state = self._state(q.join.table)
-            join_context = (join_state, self._factories[q.join.table])
-            server_join = self._build_server_join(q, state, join_state)
-        translator = QueryTranslator(
-            state,
-            factory,
-            paillier_n_squared=(
-                self._paillier.n ** 2 if self._paillier is not None else None
-            ),
-            join_context=join_context,
-        )
-        t0 = time.perf_counter()
-        translated = translator.translate(
-            q,
-            cores=self.cluster.config.cores,
-            expected_groups=expected_groups,
-            join=server_join,
-        )
-        if compress_at != "worker":
-            translated.requests = [
-                srv.ServerQuery(
-                    table=r.table, aggs=r.aggs, filter=r.filter, join=r.join,
-                    group_by=r.group_by, group_codec=r.group_codec,
-                    inflation=r.inflation, compress_at=compress_at,
-                )
-                for r in translated.requests
-            ]
-        translate_time = time.perf_counter() - t0
-
-        responses = [self.server.execute(r) for r in translated.requests]
-
-        decryptor = DecryptionModule(
-            state, self._decrypt_factory(q), paillier=self._paillier
-        )
-        t0 = time.perf_counter()
-        rows = decryptor.decrypt(translated, responses)
-        client_time = translate_time + (time.perf_counter() - t0)
-
-        metrics = [r.metrics for r in responses]
-        for m in metrics:
-            m.client_time = client_time / max(len(metrics), 1)
-        return QueryResult(
-            rows=rows,
-            request_metrics=metrics,
-            client_time=client_time,
-            translation=translated,
-        )
-
-    def query_many(
-        self,
-        queries: Iterable[str | Query],
-        expected_groups: int | None = None,
-        compress_at: str = "worker",
-        user: str | None = None,
-        max_in_flight: int | None = None,
-    ) -> list[QueryResult]:
-        """Execute a batch of independent queries, results in input order.
-
-        This is the "millions of users" traffic shape: each query is
-        translated, executed, and decrypted independently, so the batch
-        fans out through the cluster's execution backend.  With the
-        ``serial`` backend (the default) queries run sequentially and the
-        result is exactly ``[self.query(q) for q in queries]``; with
-        ``threads`` or ``processes`` up to ``max_in_flight`` queries
-        (default: the backend's worker count) are in flight at once on a
-        driver-side thread pool, and their server stages share the
-        backend's worker pool.
-
-        Nearly everything a query touches after planning is read-only
-        (tables, schemas, dictionaries, key material); the few shared
-        mutable spots -- the straggler RNG, worker-pool creation, scheme
-        caches, and per-scheme op counters -- are lock-protected.
-        """
-        queries = list(queries)
-
-        def one(q: str | Query) -> QueryResult:
-            return self.query(
-                q, expected_groups=expected_groups, compress_at=compress_at,
-                user=user,
-            )
-
-        backend = self.cluster.backend
-        if backend.name == "serial" or len(queries) <= 1:
-            return [one(q) for q in queries]
-        width = max_in_flight or backend.workers
-        with ThreadPoolExecutor(
-            max_workers=width, thread_name_prefix="seabed-query"
-        ) as pool:
-            futures = [pool.submit(one, q) for q in queries]
-            return [f.result() for f in futures]
-
-    def scan(self, query: str | Query) -> QueryResult:
-        """Execute a projection (scan) query: ``SELECT cols FROM t WHERE ...``.
-
-        The server filters with DET/ORE tokens and returns the matching
-        encrypted rows; the proxy decrypts them row-by-row (two PRF
-        evaluations per ASHE cell, Section 4.6).  SPLASHE and bare ORE
-        columns cannot be projected.
-        """
-        q = parse_query(query) if isinstance(query, str) else query
-        if q.is_aggregation():
-            raise TranslationError("scan() is for projection queries; use query()")
-        state = self._state(q.table)
-        factory = self._factories[q.table]
-        translator = QueryTranslator(state, factory)
-        base_filter, selectors = translator.split_predicate(q.where)
-        if selectors:
-            raise TranslationError("SPLASHE dimensions cannot be projected")
-        requested = [item.name for item in q.select]
-        physical: dict[str, tuple[str, str]] = {}
-        for name in requested:
-            plan = state.enc_schema.plan(name)
-            if plan.kind == "plain":
-                physical[name] = (plan.column, "plain")
-            elif plan.kind == "ashe":
-                physical[name] = (plan.cipher_column, "ashe")
-            elif plan.kind == "det":
-                physical[name] = (plan.cipher_column, "det")
-            elif plan.kind == "paillier":
-                physical[name] = (plan.cipher_column, "paillier")
-            else:
-                raise TranslationError(
-                    f"column {name!r} ({plan.kind}) cannot be projected"
-                )
-        response = self.server.scan(
-            q.table, [col for col, _ in physical.values()], base_filter
-        )
-        t0 = time.perf_counter()
-        cols = response.flat["columns"]
-        ids = response.flat["ids"]
-        rows: list[dict[str, Any]] = []
-        decoded: dict[str, Any] = {}
-        for name, (col, kind) in physical.items():
-            raw = cols[col]
-            if kind == "plain":
-                spec = state.schema.column(name)
-                if spec.dtype == "str":
-                    decoded[name] = state.dictionaries[name].decode_column(raw)
-                else:
-                    decoded[name] = raw.tolist()
-            elif kind == "ashe":
-                scheme = factory.ashe(col)
-                decoded[name] = scheme.decrypt_rows(raw, ids).tolist()
-            elif kind == "paillier":
-                assert self._paillier is not None
-                decoded[name] = [self._paillier.decrypt_crt(int(c)) for c in raw]
-            else:
-                plan = state.enc_schema.plan(name)
-                det = factory.det(col, getattr(plan, "join_group", None))
-                codes = det.decrypt_column(raw)
-                spec = state.schema.column(name)
-                if spec.dtype == "str":
-                    decoded[name] = state.dictionaries[name].decode_column(codes)
-                else:
-                    decoded[name] = codes.tolist()
-        count = len(ids)
-        rows = [
-            {name: decoded[name][j] for name in requested} for j in range(count)
-        ]
-        client_time = time.perf_counter() - t0
-        response.metrics.client_time = client_time
-        rows = order_and_limit(rows, q)
-        return QueryResult(
-            rows=rows, request_metrics=[response.metrics], client_time=client_time
-        )
-
-    def linear_regression(
-        self, table: str, x_column: str, y_column: str, where: str | None = None
-    ) -> "LinRegResult":
-        """Least-squares regression of ``y`` on ``x``: a *two round-trip*
-        query (paper Table 6, LinRegSlope/Intercept/R2, category 2R).
-
-        Round 1 aggregates first moments on the server (sums and count);
-        the client decrypts them into means.  Round 2 pulls the filtered
-        (x, y) ciphertext pairs back to the client -- "data sent back to
-        client" -- which decrypts and finishes the second moments and the
-        fit.  Both rounds run under the same predicate.
-        """
-        predicate = f" WHERE {where}" if where else ""
-        first = self.query(
-            f"SELECT sum({x_column}), sum({y_column}), count(*) "
-            f"FROM {table}{predicate}"
-        )
-        row = first.rows[0]
-        n = row["count(*)"]
-        if not n:
-            raise TranslationError("linear regression over an empty selection")
-        mean_x = row[f"sum({x_column})"] / n
-        mean_y = row[f"sum({y_column})"] / n
-
-        second = self.scan(f"SELECT {x_column}, {y_column} FROM {table}{predicate}")
-        xs = np.array([r[x_column] for r in second.rows], dtype=np.float64)
-        ys = np.array([r[y_column] for r in second.rows], dtype=np.float64)
-        sxx = float(((xs - mean_x) ** 2).sum())
-        sxy = float(((xs - mean_x) * (ys - mean_y)).sum())
-        syy = float(((ys - mean_y) ** 2).sum())
-        if sxx == 0.0:
-            raise TranslationError("x has zero variance; slope undefined")
-        slope = sxy / sxx
-        intercept = mean_y - slope * mean_x
-        r2 = 0.0 if syy == 0.0 else (sxy * sxy) / (sxx * syy)
-        return LinRegResult(
-            slope=slope, intercept=intercept, r_squared=r2, n=int(n),
-            round_trips=2,
-            request_metrics=first.request_metrics + second.request_metrics,
-        )
-
-    # -- internals ---------------------------------------------------------------
-
-    def _state(self, table: str) -> ClientTableState:
-        try:
-            return self._states[table]
-        except KeyError:
-            raise PlanningError(
-                f"no plan for table {table!r}; call create_plan first"
-            ) from None
-
-    def _decrypt_factory(self, q: Query) -> CryptoFactory:
-        """Factory used for decryption; join payload columns resolve through
-        a composite factory when the query spans two tables."""
-        if q.join is None:
-            return self._factories[q.table]
-        return _CompositeFactory(
-            primary=self._factories[q.table],
-            secondary=self._factories[q.join.table],
-            secondary_columns=set(
-                self._states[q.join.table].enc_schema.physical_columns()
-            ),
-        )
-
-    def _build_server_join(
-        self, q: Query, probe: ClientTableState, build: ClientTableState
-    ) -> srv.ServerJoin:
-        assert q.join is not None
-        probe_plan = probe.enc_schema.plans.get(q.join.left_column)
-        build_plan = build.enc_schema.plans.get(q.join.right_column)
-        if probe_plan is None or build_plan is None:
-            raise TranslationError("join columns missing from the plans")
-        probe_key = (
-            probe_plan.cipher_column if probe_plan.kind == "det" else probe_plan.column
-        )
-        build_key = (
-            build_plan.cipher_column if build_plan.kind == "det" else build_plan.column
-        )
-        # Build-side physical columns the query touches.
-        needed: set[str] = set()
-        build_names = set(build.schema.column_names())
-        for col in (q.measure_columns() | q.dimension_columns()) - {q.join.left_column}:
-            if col in build_names and col not in set(probe.schema.column_names()):
-                needed.update(build.enc_schema.plan(col).physical_columns())
-        return srv.ServerJoin(
-            build_table=build.schema.name,
-            probe_key_column=probe_key,
-            build_key_column=build_key,
-            payload_columns=tuple(sorted(needed)),
-        )
-
-    # -- introspection -------------------------------------------------------------
-
-    def encrypted_schema(self, table: str) -> sc.EncryptedSchema:
-        return self._state(table).enc_schema
-
-    def table_state(self, table: str) -> ClientTableState:
-        return self._state(table)
-
-
-class _CompositeFactory:
-    """Routes physical-column scheme lookups across two tables' factories."""
-
-    def __init__(self, primary: CryptoFactory, secondary: CryptoFactory,
-                 secondary_columns: set[str]):
-        self._primary = primary
-        self._secondary = secondary
-        self._secondary_columns = secondary_columns
-
-    def _route(self, physical_column: str) -> CryptoFactory:
-        if physical_column in self._secondary_columns:
-            return self._secondary
-        return self._primary
-
-    def ashe(self, physical_column: str):
-        return self._route(physical_column).ashe(physical_column)
-
-    def det(self, physical_column: str, join_group: str | None = None):
-        return self._route(physical_column).det(physical_column, join_group)
-
-    def ore(self, physical_column: str, nbits: int = 32, signed: bool = True):
-        return self._route(physical_column).ore(physical_column, nbits, signed)
+    The trusted proxy: planner + encryptor + translator + decryptor.
+    Exists purely so pre-session call sites keep working; it inherits
+    every method and attribute unchanged (including the transparent
+    translation cache).  Prefer ``SeabedSession`` in new code.
+    """

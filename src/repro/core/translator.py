@@ -22,14 +22,15 @@ server sees only ciphertext comparisons.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Mapping
 
 from repro.core import schema as sc
 from repro.core import server as srv
 from repro.core.crypto_factory import CryptoFactory
 from repro.core.encryptor import ClientTableState
 from repro.errors import TranslationError
+from repro.ops import OPS
 from repro.query.ast import (
     Aggregate,
     And,
@@ -39,6 +40,7 @@ from repro.query.ast import (
     InList,
     Not,
     Or,
+    Param,
     Predicate,
     Query,
     predicate_columns,
@@ -46,6 +48,77 @@ from repro.query.ast import (
 
 #: (request index, server alias)
 Ref = tuple[int, str]
+
+
+@dataclass(frozen=True, eq=False)
+class ParamFilter:
+    """A client-side placeholder in a translated filter tree.
+
+    Holds the :class:`~repro.query.ast.Param` names it consumes plus a
+    ``build`` closure that turns concrete values into the real
+    server-side :data:`~repro.core.server.FilterExpr` (one token
+    encryption per value -- all plan lookups and predicate splitting
+    already happened at translation time).  These never reach the
+    server: :func:`bind_filter` replaces them before execution.
+    """
+
+    params: tuple[str, ...]
+    build: Callable[..., srv.FilterExpr]
+
+
+def filter_params(expr: Any) -> tuple[str, ...]:
+    """Parameter names a (possibly templated) filter tree consumes, in
+    left-to-right order."""
+    names: list[str] = []
+
+    def visit(node: Any) -> None:
+        if node is None:
+            return
+        if isinstance(node, ParamFilter):
+            names.extend(n for n in node.params if n not in names)
+        elif isinstance(node, (srv.FilterAnd, srv.FilterOr)):
+            for child in node.children:
+                visit(child)
+        elif isinstance(node, srv.FilterNot):
+            visit(node.child)
+
+    visit(expr)
+    return tuple(names)
+
+
+def bind_filter(expr: Any, values: Mapping[str, Any]) -> srv.FilterExpr | None:
+    """Substitute concrete values for every :class:`ParamFilter` slot."""
+    if expr is None:
+        return None
+    if isinstance(expr, ParamFilter):
+        try:
+            args = [values[name] for name in expr.params]
+        except KeyError as missing:
+            raise TranslationError(
+                f"no value bound for parameter {missing.args[0]!r}"
+            ) from None
+        return bind_filter(expr.build(*args), values)
+    if isinstance(expr, srv.FilterAnd):
+        return srv.FilterAnd(tuple(bind_filter(c, values) for c in expr.children))
+    if isinstance(expr, srv.FilterOr):
+        return srv.FilterOr(tuple(bind_filter(c, values) for c in expr.children))
+    if isinstance(expr, srv.FilterNot):
+        return srv.FilterNot(bind_filter(expr.child, values))
+    return expr
+
+
+def bind_requests(
+    requests: list[srv.ServerQuery], values: Mapping[str, Any]
+) -> list[srv.ServerQuery]:
+    """Re-bind a translated request list; requests without parameter
+    slots are shared, parameterised ones get a fresh filter tree."""
+    bound: list[srv.ServerQuery] = []
+    for request in requests:
+        if filter_params(request.filter):
+            bound.append(replace(request, filter=bind_filter(request.filter, values)))
+        else:
+            bound.append(request)
+    return bound
 
 
 @dataclass
@@ -133,6 +206,7 @@ class QueryTranslator:
         expected_groups: int | None = None,
         join: srv.ServerJoin | None = None,
     ) -> TranslatedQuery:
+        OPS.bump("translate")
         self._alias_counter = 0
         if query.table != self._state.schema.name:
             raise TranslationError(
@@ -242,6 +316,7 @@ class QueryTranslator:
             plan = self._maybe_splashe_plan(node.column)
             if plan is None:
                 return None
+            self._reject_splashe_param(node.column, (node.value,))
             code = plan.code_of(node.value)
             if node.op == "=":
                 codes = [code] if code is not None else []
@@ -252,11 +327,24 @@ class QueryTranslator:
             plan = self._maybe_splashe_plan(node.column)
             if plan is None:
                 return None
+            self._reject_splashe_param(node.column, node.values)
             codes = sorted(
                 {c for v in node.values if (c := plan.code_of(v)) is not None}
             )
             return _Selector(plan=plan, codes=codes)
         return None
+
+    @staticmethod
+    def _reject_splashe_param(column: str, values: tuple[Any, ...]) -> None:
+        """SPLASHE selections retarget whole columns -- the value decides
+        the *structure* of the translated requests, so a late-bound
+        parameter cannot work there."""
+        if any(isinstance(v, Param) for v in values):
+            raise TranslationError(
+                f"column {column!r} is SPLASHE-planned; its predicate value "
+                "selects which splayed columns are aggregated, so it cannot "
+                "be a parameter -- inline the literal instead"
+            )
 
     def _maybe_splashe_plan(
         self, column: str
@@ -295,10 +383,12 @@ class QueryTranslator:
             return srv.FilterOr(tuple(self._translate_filter(c) for c in node.children))
         raise TranslationError(f"unsupported predicate node {type(node).__name__}")
 
-    def _translate_comparison(self, node: Comparison) -> srv.FilterExpr:
+    def _translate_comparison(self, node: Comparison) -> srv.FilterExpr | ParamFilter:
         plan = self._plan(node.column)
         spec = self._spec(node.column)
         factory = self._factory_of(node.column)
+        if isinstance(node.value, Param):
+            return self._param_comparison(node, plan)
         if plan.kind == "plain":
             value: Any = node.value
             if spec.dtype == "str":
@@ -338,8 +428,70 @@ class QueryTranslator:
             )
         raise TranslationError(f"cannot filter on plan kind {plan.kind!r}")
 
-    def _translate_in(self, node: InList) -> srv.FilterExpr:
+    def _param_comparison(
+        self, node: Comparison, plan: sc.ColumnPlan
+    ) -> ParamFilter:
+        """Template a comparison whose value binds later.
+
+        All structural decisions -- which physical column, which scheme,
+        whether the op is supported -- are validated here, once; the
+        returned slot's ``build`` only encrypts one token per execution.
+        """
+        self._validate_filterable(node.column, node.op, plan)
+        column, op = node.column, node.op
+
+        def build(value: Any) -> srv.FilterExpr:
+            return self._translate_comparison(Comparison(column, op, value))
+
+        assert isinstance(node.value, Param)
+        return ParamFilter(params=(node.value.name,), build=build)
+
+    def _validate_filterable(
+        self, column: str, op: str, plan: sc.ColumnPlan
+    ) -> None:
+        """Raise the same errors a concrete translation would, so a bad
+        prepared query fails at prepare time rather than first execute."""
+        if plan.kind in ("splashe_basic", "splashe_enhanced"):
+            raise TranslationError(
+                f"predicate {op!r} on SPLASHE dimension {column!r} "
+                "is only supported as a top-level equality"
+            )
+        if plan.kind == "det" and op not in ("=", "!="):
+            raise TranslationError(
+                f"DET column {column!r} supports only equality, not {op!r}"
+            )
+        if plan.kind in ("ashe", "paillier"):
+            if plan.ore_column is not None:
+                return
+            if plan.det_column is not None and op in ("=", "!="):
+                return
+            raise TranslationError(
+                f"measure {column!r} was not planned for filtering; "
+                "include such a predicate in the sample queries"
+            )
+        if plan.kind not in ("plain", "det", "ore"):
+            raise TranslationError(f"cannot filter on plan kind {plan.kind!r}")
+
+    def _translate_in(self, node: InList) -> srv.FilterExpr | ParamFilter:
         plan = self._plan(node.column)
+        names = tuple(
+            v.name for v in node.values if isinstance(v, Param)
+        )
+        if names:
+            # Validate once (an IN is a disjunction of equalities), then
+            # defer token encryption to bind time.
+            self._validate_filterable(node.column, "=", plan)
+            column, template = node.column, node.values
+
+            def build(*bound: Any) -> srv.FilterExpr:
+                supplied = iter(bound)
+                values = tuple(
+                    next(supplied) if isinstance(v, Param) else v
+                    for v in template
+                )
+                return self._translate_in(InList(column, values))
+
+            return ParamFilter(params=names, build=build)
         if plan.kind == "det":
             det = self._factory_of(node.column).det(plan.cipher_column, plan.join_group)
             tokens = tuple(

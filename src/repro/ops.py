@@ -1,0 +1,53 @@
+"""Client-side operation counters.
+
+A tiny thread-safe counter registry the proxy pipeline bumps at its
+expensive choke points (``parse``, ``plan``, ``translate``) and at the
+session layer (``prepare``, ``execute``, cache hits/misses).  Tests and
+benchmarks use snapshots to *prove* claims like "re-executing a
+:class:`~repro.core.session.PreparedQuery` performs zero planner and
+translator work" instead of inferring them from timings.
+
+Lives at the package top level (not ``repro.core``) so leaf modules like
+the parser can bump counters without importing the core package, whose
+``__init__`` pulls in the whole proxy pipeline.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from threading import Lock
+
+
+class OpCounter:
+    """Monotonic named counters; cheap enough to leave on in production."""
+
+    def __init__(self) -> None:
+        self._lock = Lock()
+        self._counts: Counter[str] = Counter()
+
+    def bump(self, op: str, n: int = 1) -> None:
+        with self._lock:
+            self._counts[op] += n
+
+    def get(self, op: str) -> int:
+        with self._lock:
+            return self._counts[op]
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._counts)
+
+    def delta(self, before: dict[str, int]) -> dict[str, int]:
+        """Per-op increments since ``before`` (a prior :meth:`snapshot`)."""
+        now = self.snapshot()
+        keys = set(now) | set(before)
+        return {k: now.get(k, 0) - before.get(k, 0) for k in keys
+                if now.get(k, 0) != before.get(k, 0)}
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts.clear()
+
+
+#: Process-wide counter instance the pipeline modules bump.
+OPS = OpCounter()

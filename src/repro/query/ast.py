@@ -29,6 +29,24 @@ Literal = Union[int, float, str]
 
 
 @dataclass(frozen=True)
+class Param:
+    """A named placeholder for a literal, bound at execution time.
+
+    Appears wherever a :data:`Literal` may (comparison values, IN lists,
+    BETWEEN bounds); ``SeabedSession.prepare`` translates the query once
+    with the placeholder and ``PreparedQuery.execute`` re-binds fresh
+    encryption tokens for each set of values without re-planning.  In
+    SQL, ``:name`` parses to ``Param("name")``.
+    """
+
+    name: str
+
+
+#: What a predicate may compare against: a concrete literal or a Param.
+Value = Union[Literal, Param]
+
+
+@dataclass(frozen=True)
 class ColumnRef:
     """A bare column in the select list (only valid with GROUP BY)."""
 
@@ -67,7 +85,7 @@ class Comparison:
 
     column: str
     op: str
-    value: Literal
+    value: Value
 
     _OPS = frozenset({"=", "!=", "<", "<=", ">", ">="})
 
@@ -87,14 +105,14 @@ class Comparison:
 @dataclass(frozen=True)
 class InList:
     column: str
-    values: tuple[Literal, ...]
+    values: tuple[Value, ...]
 
 
 @dataclass(frozen=True)
 class Between:
     column: str
-    low: Literal
-    high: Literal
+    low: Value
+    high: Value
 
 
 @dataclass(frozen=True)
@@ -158,6 +176,39 @@ class Query:
         if self.join is None:
             return set()
         return {self.join.left_column, self.join.right_column}
+
+
+def query_params(query: Query) -> tuple[str, ...]:
+    """Parameter names mentioned in a query, in first-occurrence order.
+
+    Only predicates may hold :class:`Param` placeholders; the walk visits
+    conjuncts/disjuncts left to right so positional binding is stable.
+    """
+    seen: list[str] = []
+
+    def note(value: Value) -> None:
+        if isinstance(value, Param) and value.name not in seen:
+            seen.append(value.name)
+
+    def visit(node: Predicate | None) -> None:
+        if node is None:
+            return
+        if isinstance(node, Comparison):
+            note(node.value)
+        elif isinstance(node, InList):
+            for v in node.values:
+                note(v)
+        elif isinstance(node, Between):
+            note(node.low)
+            note(node.high)
+        elif isinstance(node, Not):
+            visit(node.child)
+        elif isinstance(node, (And, Or)):
+            for child in node.children:
+                visit(child)
+
+    visit(query.where)
+    return tuple(seen)
 
 
 def predicate_columns(pred: Predicate | None) -> set[str]:

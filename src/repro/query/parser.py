@@ -14,7 +14,11 @@ Grammar (keywords case-insensitive)::
                 | ident IN '(' literal (',' literal)* ')'
                 | ident BETWEEN literal AND literal
     op         := '=' | '!=' | '<>' | '<' | '<=' | '>' | '>='
-    literal    := integer | float | 'string'
+    literal    := integer | float | 'string' | ':' ident
+
+``:name`` is a named parameter placeholder (it parses to
+:class:`~repro.query.ast.Param`): ``SeabedSession.prepare`` translates
+such a query once and re-binds values on every execute.
 
 This is deliberately the fragment exercised by the paper's workloads
 (microbenchmarks, ad analytics, Big Data Benchmark); anything outside it
@@ -27,6 +31,7 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass
 
+from repro.ops import OPS
 from repro.errors import ParseError
 from repro.query.ast import (
     AGGREGATE_FUNCS,
@@ -40,6 +45,7 @@ from repro.query.ast import (
     Literal,
     Not,
     Or,
+    Param,
     Predicate,
     Query,
     SelectItem,
@@ -51,6 +57,7 @@ _TOKEN_RE = re.compile(
   | (?P<float>\d+\.\d+)
   | (?P<int>\d+)
   | (?P<string>'(?:[^'\\]|\\.)*')
+  | (?P<param>:[A-Za-z_][A-Za-z0-9_]*)
   | (?P<op><=|>=|!=|<>|=|<|>)
   | (?P<punct>[(),*])
   | (?P<ident>[A-Za-z_][A-Za-z0-9_.]*)
@@ -242,7 +249,7 @@ class _Parser:
         op = "!=" if op_tok.text == "<>" else op_tok.text
         return Comparison(column=column, op=op, value=self._literal())
 
-    def _literal(self) -> Literal:
+    def _literal(self) -> Literal | Param:
         tok = self._next()
         if tok.kind == "int":
             return int(tok.text)
@@ -251,9 +258,12 @@ class _Parser:
         if tok.kind == "string":
             body = tok.text[1:-1]
             return body.replace("\\'", "'").replace("\\\\", "\\")
+        if tok.kind == "param":
+            return Param(tok.text[1:])
         raise ParseError(f"expected a literal at position {tok.pos}, found {tok.text!r}")
 
 
 def parse_query(sql: str) -> Query:
     """Parse one SELECT statement into a :class:`~repro.query.ast.Query`."""
+    OPS.bump("parse")
     return _Parser(sql).parse()

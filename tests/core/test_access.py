@@ -97,3 +97,69 @@ class TestProxyIntegration:
         client.create_plan(schema, ["SELECT sum(a) FROM t"])
         client.upload("t", {"a": np.arange(10)})
         assert client.query("SELECT sum(a) FROM t").rows[0]["sum(a)"] == 45
+
+
+class TestSharedExecutionPathChecks:
+    """Regression: every read path must consult the access controller.
+
+    ``scan()`` and ``linear_regression()`` historically skipped the
+    check (only ``query()`` called ``access.check``), so a revoked user
+    could still pull decrypted rows through a projection.  All verbs now
+    route through the shared ``PreparedQuery.execute`` path, which
+    checks every table the query touches.
+    """
+
+    @pytest.fixture(scope="class")
+    def client(self):
+        schema = TableSchema("readings", [
+            ColumnSpec("x", dtype="int", sensitive=True, nbits=32),
+            ColumnSpec("y", dtype="int", sensitive=True, nbits=32),
+        ])
+        client = SeabedClient(mode="seabed", access_control=True, seed=1)
+        client.create_plan(schema, [
+            "SELECT sum(x), sum(y) FROM readings",
+            "SELECT sum(x) FROM readings WHERE y > 10",
+        ])
+        rng = np.random.default_rng(3)
+        x = rng.integers(0, 50, 200)
+        client.upload("readings", {"x": x, "y": 3 * x + 7})
+        client.access.grant("analyst", {"readings"})
+        return client
+
+    def test_scan_requires_user(self, client):
+        with pytest.raises(AccessError, match="user is required"):
+            client.scan("SELECT x, y FROM readings")
+
+    def test_scan_rejects_unauthorised(self, client):
+        with pytest.raises(AccessError, match="no grant"):
+            client.scan("SELECT x, y FROM readings", user="intruder")
+
+    def test_scan_allows_granted_user(self, client):
+        result = client.scan("SELECT x, y FROM readings", user="analyst")
+        assert len(result.rows) == 200
+
+    def test_linear_regression_requires_user(self, client):
+        with pytest.raises(AccessError, match="user is required"):
+            client.linear_regression("readings", "x", "y")
+
+    def test_linear_regression_allows_granted_user(self, client):
+        fit = client.linear_regression("readings", "x", "y", user="analyst")
+        assert fit.slope == pytest.approx(3.0)
+        assert fit.intercept == pytest.approx(7.0)
+
+    def test_prepared_execute_checks_every_call(self, client):
+        prepared = client.prepare("SELECT sum(x) FROM readings WHERE y > :t")
+        assert prepared.execute(t=0, user="analyst").rows
+        with pytest.raises(AccessError, match="no grant"):
+            prepared.execute(t=0, user="intruder")
+        client.access.grant("shortlived", {"readings"})
+        assert prepared.execute(t=0, user="shortlived").rows
+        client.access.revoke("shortlived")
+        with pytest.raises(AccessError, match="revoked"):
+            prepared.execute(t=0, user="shortlived")
+
+    def test_query_many_checks_user(self, client):
+        with pytest.raises(AccessError, match="no grant"):
+            client.query_many(
+                ["SELECT sum(x) FROM readings"] * 2, user="intruder"
+            )
