@@ -5,7 +5,6 @@ list) but serialises the work at the driver, which the paper found to be
 a bottleneck; Seabed compresses at the workers.  We measure both paths.
 """
 
-import pytest
 
 from repro.bench import ResultSink, format_table
 from repro.core.proxy import SeabedClient

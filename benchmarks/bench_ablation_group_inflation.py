@@ -6,7 +6,6 @@ suffix multiplies the reduce keys.  We compare reduce-stage parallelism
 and latency with the optimisation disabled and enabled.
 """
 
-import pytest
 
 from repro.bench import ResultSink, format_table
 from repro.core.proxy import SeabedClient

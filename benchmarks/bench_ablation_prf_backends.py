@@ -10,7 +10,6 @@ choice never changes results.
 import time
 
 import numpy as np
-import pytest
 
 from repro.bench import ResultSink, format_table
 from repro.crypto.ashe import AsheScheme

@@ -24,7 +24,6 @@ import platform
 import time
 from pathlib import Path
 
-import pytest
 
 from repro.bench import ResultSink, format_table
 from repro.core.proxy import SeabedClient

@@ -10,7 +10,6 @@ splaying the first k dimensions, relative to the unsplayed dataset (33
 dimensions + 18 measures per row).
 """
 
-import pytest
 
 from repro.bench import ResultSink, format_table
 from repro.core.splashe import (
@@ -57,7 +56,9 @@ def test_fig10b_cumulative_overhead(benchmark):
          f"{enhanced_cum[i]:.2f}x")
         for i, card in enumerate(cards)
     ]
-    within = lambda series, budget: sum(1 for v in series if v <= budget)
+    def within(series, budget):
+        return sum(1 for v in series if v <= budget)
+
     with ResultSink("fig10b_splashe_storage") as sink:
         sink.emit(format_table(
             ["Dimensions splayed (cumulative)", "Basic SPLASHE", "Enhanced SPLASHE"],

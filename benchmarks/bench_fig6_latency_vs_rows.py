@@ -12,7 +12,6 @@ orders of magnitude above both.
 """
 
 import numpy as np
-import pytest
 
 from repro.bench import ResultSink, format_table
 from repro.core.proxy import SeabedClient

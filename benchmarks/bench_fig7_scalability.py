@@ -10,8 +10,6 @@ simulated scheduler recomputes the makespan from the measured task
 durations, which is exactly how added cores help a real Spark stage.
 """
 
-import numpy as np
-import pytest
 
 from repro.bench import ResultSink, format_table
 from repro.core.proxy import SeabedClient
@@ -78,7 +76,8 @@ def test_fig7_scalability(benchmark, scale):
                 ("Paillier/Seabed(100%) at 100 cores", ">100x",
                  f"{series['Paillier'][-1] / series['Seabed sel=100%'][-1]:,.0f}x"),
                 ("Seabed flattens by ~50 cores", "best latency by 50 cores",
-                 f"{series['Seabed sel=100%'][3] / series['Seabed sel=100%'][-1]:.2f}x of 100-core latency at 60"),
+                 f"{series['Seabed sel=100%'][3] / series['Seabed sel=100%'][-1]:.2f}x"
+                 " of 100-core latency at 60"),
             ],
             title="Paper-vs-measured",
         ))

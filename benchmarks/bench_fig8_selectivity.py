@@ -10,7 +10,6 @@
 """
 
 import numpy as np
-import pytest
 
 from repro.bench import ResultSink, format_table
 from repro.core.proxy import SeabedClient

@@ -6,8 +6,6 @@ Paillier by 5-10x, the gap narrowing as groups grow and shuffle dominates;
 NoEnc stays cheapest throughout.
 """
 
-import numpy as np
-import pytest
 
 from repro.bench import ResultSink, format_table
 from repro.core.proxy import SeabedClient

@@ -8,7 +8,6 @@ check against the paper: Seabed costs ~1.1-2x NoEnc, Paillier 3-15x
 (worse the more measure-heavy the table).
 """
 
-import numpy as np
 import pytest
 
 from repro.bench import ResultSink, format_table

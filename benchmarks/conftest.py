@@ -4,6 +4,11 @@ Scales are configurable through ``SEABED_BENCH_SCALE`` (small | medium |
 large); the default ``small`` keeps the full suite runnable on a laptop in
 minutes while preserving every shape the paper reports (see DESIGN.md
 Section 4 on scale substitution).  Results are written to ``results/``.
+
+``BENCH_QUICK=1`` overrides everything with the ``quick`` scale: the
+same benchmark shapes at CI-friendly sizes, so every PR exercises the
+full measurement path (and the machine-readable ``BENCH_*.json``
+artifacts) in seconds.
 """
 
 from __future__ import annotations
@@ -13,6 +18,21 @@ import os
 import pytest
 
 SCALES = {
+    # CI quick mode: smallest sizes that keep every measured ratio
+    # meaningful (BENCH_QUICK=1).
+    "quick": {
+        "fig6_rows": [20_000, 40_000],
+        "fig7_rows": 120_000,
+        "fig8_rows": 60_000,
+        "fig9a_rows": 60_000,
+        "fig9a_groups": [10, 100],
+        "bdb_rankings": 1_000,
+        "bdb_uservisits": 10_000,
+        "ada_rows": 10_000,
+        "table5_rows": 10_000,
+        "paillier_bits": 512,
+        "store_rows": 200_000,
+    },
     "small": {
         "fig6_rows": [50_000, 100_000, 200_000, 400_000],
         "fig7_rows": 400_000,
@@ -24,6 +44,7 @@ SCALES = {
         "ada_rows": 30_000,
         "table5_rows": 30_000,
         "paillier_bits": 1024,
+        "store_rows": 400_000,
     },
     "medium": {
         "fig6_rows": [250_000, 500_000, 1_000_000, 2_000_000],
@@ -36,6 +57,7 @@ SCALES = {
         "ada_rows": 100_000,
         "table5_rows": 100_000,
         "paillier_bits": 1024,
+        "store_rows": 2_000_000,
     },
     "large": {
         "fig6_rows": [1_000_000, 2_000_000, 4_000_000, 8_000_000],
@@ -48,12 +70,15 @@ SCALES = {
         "ada_rows": 300_000,
         "table5_rows": 300_000,
         "paillier_bits": 1024,
+        "store_rows": 8_000_000,
     },
 }
 
 
 @pytest.fixture(scope="session")
 def scale() -> dict:
+    if os.environ.get("BENCH_QUICK") == "1":
+        return SCALES["quick"]
     name = os.environ.get("SEABED_BENCH_SCALE", "small")
     if name not in SCALES:
         raise ValueError(f"SEABED_BENCH_SCALE must be one of {sorted(SCALES)}")

@@ -10,7 +10,6 @@ SPLASHE storage report.
 Run:  python examples/ad_analytics.py
 """
 
-import numpy as np
 
 from repro.core.proxy import SeabedClient
 from repro.workloads import adanalytics

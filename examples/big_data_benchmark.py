@@ -70,9 +70,7 @@ client.create_plan(phase2_schema, [
 ])
 client.upload("linkcounts", {"target": np.array(urls, dtype=object),
                              "hits": counts}, num_partitions=2)
-result = client.query(
-    f"SELECT sum(hits), count(*) FROM linkcounts"
-)
+result = client.query("SELECT sum(hits), count(*) FROM linkcounts")
 print(f"  phase 2 (encrypted aggregation): total hits "
       f"{result.rows[0]['sum(hits)']:,} across {result.rows[0]['count(*)']:,} "
       f"targets, server {result.server_time*1e3:.0f} ms")

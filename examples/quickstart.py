@@ -10,14 +10,32 @@ Demonstrates the full Seabed loop from the paper's Figure 5:
    fluent builder, and a PreparedQuery that translates once and re-binds
    parameters on every execute.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [--persist DIR]
+
+With ``--persist DIR`` the script also runs the deployment loop: save
+the encrypted table to a partition store under DIR, attach it from a
+fresh session (same master key, zero re-encryption), and check the
+reopened table answers identically.
 """
+
+import argparse
 
 import numpy as np
 
 from repro import SeabedSession, col
 from repro.core.schema import ColumnSpec, TableSchema
 from repro.ops import OPS
+
+parser = argparse.ArgumentParser(description="Seabed quickstart")
+parser.add_argument(
+    "--persist", metavar="DIR", default=None,
+    help="save the table under DIR and re-attach it from a fresh session",
+)
+args = parser.parse_args()
+
+#: Fixed for the demo so --persist can attach from a fresh session; real
+#: deployments generate and guard this key.
+MASTER_KEY = b"quickstart-demo-master-key-32byt"
 
 rng = np.random.default_rng(42)
 N = 50_000
@@ -40,7 +58,7 @@ schema = TableSchema("sales", [
     ColumnSpec("amount", dtype="int", sensitive=True, nbits=32),
     ColumnSpec("year", dtype="int", sensitive=False),
 ])
-session = SeabedSession(mode="seabed")
+session = SeabedSession(mode="seabed", master_key=MASTER_KEY)
 session.create_plan(schema, [
     "SELECT sum(amount) FROM sales WHERE country = 'us'",
     "SELECT country, sum(amount) FROM sales GROUP BY country",
@@ -93,3 +111,16 @@ delta = OPS.delta(before)
 print(f"   [ops during 3 executes: translate={delta.get('translate', 0)} "
       f"parse={delta.get('parse', 0)} plan={delta.get('plan', 0)}]")
 print(f"\ntranslation cache: {session.cache_stats()}")
+
+# -- 5. optional persistence round trip (--persist DIR) ------------------------------
+if args.persist:
+    from repro.workloads.persist import persist_round_trip
+
+    sql = "SELECT country, sum(amount) FROM sales GROUP BY country"
+    expected = session.query(sql, expected_groups=len(COUNTRIES)).rows
+    fresh, handle = persist_round_trip(session, "sales", args.persist, MASTER_KEY)
+    reopened = fresh.query(sql, expected_groups=len(COUNTRIES)).rows
+    match = sorted(map(str, expected)) == sorted(map(str, reopened))
+    print(f"\npersisted to {handle.store_path} and re-attached from a fresh "
+          f"session (zero re-encryption): results identical = {match}")
+    assert match, "reopened store answered differently"

@@ -29,6 +29,7 @@ __version__ = "0.1.0"
 
 __all__ = [
     "ColumnSpec",
+    "EncryptedTable",
     "Param",
     "PreparedQuery",
     "QueryBuilder",
@@ -42,6 +43,7 @@ __all__ = [
 _LAZY = {
     "SeabedClient": ("repro.core.proxy", "SeabedClient"),
     "SeabedSession": ("repro.core.session", "SeabedSession"),
+    "EncryptedTable": ("repro.core.session", "EncryptedTable"),
     "PreparedQuery": ("repro.core.session", "PreparedQuery"),
     "QueryBuilder": ("repro.query.builder", "QueryBuilder"),
     "col": ("repro.query.builder", "col"),

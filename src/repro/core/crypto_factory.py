@@ -41,6 +41,12 @@ class CryptoFactory:
         # loser's per-scheme op counters would be silently discarded).
         self._lock = threading.Lock()
 
+    @property
+    def prf_backend(self) -> str:
+        """The PRF this factory's ASHE schemes run on -- persisted in the
+        store sidecar so a re-save after attach cannot drift from it."""
+        return self._prf_backend
+
     def ashe(self, physical_column: str) -> AsheScheme:
         with self._lock:
             if physical_column not in self._ashe:

@@ -27,6 +27,7 @@ from repro.crypto.det import DictionaryEncoder
 from repro.crypto.paillier import PaillierScheme
 from repro.engine.table import Table
 from repro.errors import PlanningError
+from repro.ops import OPS
 
 _I64 = np.int64
 
@@ -75,7 +76,11 @@ class EncryptionModule:
         nrows = len(next(iter(arrays.values())))
         start_id = state.next_row_id
         physical: dict[str, np.ndarray] = {}
+        # Counted so persistence tests can *prove* that attaching a stored
+        # table performs zero re-encryption (the upload-once model).
+        OPS.bump("encrypt_batch")
         for name, plan in state.enc_schema.plans.items():
+            OPS.bump("encrypt_column")
             self._encrypt_column(state, plan, arrays[name], arrays, start_id, physical)
         table = Table.from_columns(
             state.schema.name,

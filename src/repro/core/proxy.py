@@ -32,7 +32,6 @@ from repro.core.session import (
     QueryResult,
     SeabedSession,
     UploadStats,
-    _CompositeFactory,
 )
 
 __all__ = [

@@ -34,10 +34,10 @@ from repro.crypto import ore as ore_mod
 from repro.crypto.prf import MASK64
 from repro.engine.cluster import SimulatedCluster
 from repro.engine.metrics import JobMetrics
+from repro.engine.store import PartitionRef, dispatch_payload, resolve_partition
 from repro.engine.table import Partition, Table
 from repro.errors import ExecutionError
 from repro.idlist import IdList, get_codec
-from repro.idlist.codec import decode as codec_decode
 from repro.idlist.codec import encode_groups_vb_diff, encode_multiset
 
 _U64 = np.uint64
@@ -264,13 +264,18 @@ def _payload_nbytes(payload: Any) -> int:
 # backend can pickle them to pool workers, exactly as Spark serialises its
 # task closures to executors.  Everything they touch is public material:
 # ciphertexts, comparison tokens, and row IDs.
+#
+# Store-backed partitions arrive as PartitionRef descriptors (the dispatch
+# payload is a path + index, not pickled columns); resolve_partition maps
+# the worker's local slice through the per-process reader cache.
 # ---------------------------------------------------------------------------
 
 
 def scan_map_task(
-    part: Partition, columns: tuple[str, ...], filt: FilterExpr | None
+    part: Partition | PartitionRef, columns: tuple[str, ...], filt: FilterExpr | None
 ) -> tuple[dict[str, np.ndarray], np.ndarray]:
     """Filtered projection of one partition: selected columns + row IDs."""
+    part = resolve_partition(part)
     mask = eval_filter(part.columns, filt, part.nrows)
     ids = np.arange(part.nrows, dtype=_U64) + _U64(part.start_id)
     if mask is None:
@@ -322,10 +327,10 @@ def partition_view(
 
 
 def flat_map_task(
-    part: Partition, q: ServerQuery, build: dict[str, Any] | None
+    part: Partition | PartitionRef, q: ServerQuery, build: dict[str, Any] | None
 ) -> dict[str, Any] | None:
     """Per-partition partial aggregates for a flat (ungrouped) query."""
-    view = partition_view(part, q, build)
+    view = partition_view(resolve_partition(part), q, build)
     if view is None:
         return None
     columns, row_ids = view
@@ -338,11 +343,11 @@ def flat_map_task(
 
 
 def grouped_map_task(
-    part: Partition, q: ServerQuery, build: dict[str, Any] | None
+    part: Partition | PartitionRef, q: ServerQuery, build: dict[str, Any] | None
 ) -> dict[tuple[int, int], dict[str, Any]]:
     """Per-partition (group key, suffix) -> partial aggregates."""
     inflation = max(1, q.inflation)
-    view = partition_view(part, q, build)
+    view = partition_view(resolve_partition(part), q, build)
     if view is None:
         return {}
     columns, row_ids = view
@@ -462,7 +467,9 @@ class SeabedServer:
         table = self.table(table_name)
         metrics = self.cluster.new_job()
         columns = tuple(columns)
-        calls = [(part, columns, filt) for part in table.partitions]
+        calls = [
+            (dispatch_payload(part), columns, filt) for part in table.partitions
+        ]
         parts, _ = self.cluster.map_stage("scan", scan_map_task, calls, metrics)
 
         def merge():
@@ -526,8 +533,9 @@ class SeabedServer:
     ) -> ServerResponse:
         # Under the processes backend, q and the broadcast build side are
         # pickled once per partition call -- the cost a real cluster pays
-        # as broadcast volume (already accounted in _prepare_join).
-        calls = [(part, q, build) for part in table.partitions]
+        # as broadcast volume (already accounted in _prepare_join).  Store-
+        # backed partitions dispatch as refs; workers map them locally.
+        calls = [(dispatch_payload(part), q, build) for part in table.partitions]
         partials, _ = self.cluster.map_stage("aggregate", flat_map_task, calls, metrics)
         partials = [p for p in partials if p is not None]
 
@@ -553,7 +561,7 @@ class SeabedServer:
         build: dict[str, Any] | None,
         metrics: JobMetrics,
     ) -> ServerResponse:
-        calls = [(part, q, build) for part in table.partitions]
+        calls = [(dispatch_payload(part), q, build) for part in table.partitions]
         map_out, _ = self.cluster.map_stage(
             "group-map", grouped_map_task, calls, metrics
         )
@@ -610,12 +618,7 @@ def _flat_partial(
 ) -> Any:
     if isinstance(agg, AsheSum):
         cipher = columns[agg.column]
-        if mask is None:
-            selected = cipher
-            sel_ids = row_ids if agg.multiset else None
-        else:
-            selected = cipher[mask]
-            sel_ids = row_ids[mask] if agg.multiset else None
+        selected = cipher if mask is None else cipher[mask]
         total = int(np.add.reduce(selected)) & MASK64 if selected.size else 0
         if agg.multiset:
             ids_source = columns[JOIN_IDS_COLUMN]

@@ -28,6 +28,7 @@ shim over this module.
 
 from __future__ import annotations
 
+import os
 import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
@@ -37,6 +38,7 @@ from typing import Any, Hashable, Iterable, Mapping
 
 import numpy as np
 
+from repro.core import persistence as ps
 from repro.core import schema as sc
 from repro.core import server as srv
 from repro.core.access import AccessController
@@ -55,7 +57,8 @@ from repro.crypto.keys import KeyChain
 from repro.crypto.paillier import PaillierKeyPair, PaillierScheme
 from repro.engine.cluster import SimulatedCluster
 from repro.engine.metrics import JobMetrics
-from repro.errors import PlanningError, TranslationError
+from repro.engine.store import open_store, write_store
+from repro.errors import PlanningError, StorageError, TranslationError
 from repro.ops import OPS
 from repro.query.ast import (
     And,
@@ -333,6 +336,83 @@ class PreparedQuery:
         )
 
 
+class EncryptedTable:
+    """Handle to one encrypted table registered in a session.
+
+    Returned by :meth:`SeabedSession.encrypted_table` and
+    :meth:`SeabedSession.open_table`; its job is the persistence loop of
+    the paper's deployment model: :meth:`save` writes the server-side
+    ciphertexts to a partition store (:mod:`repro.engine.store`) plus the
+    client-state sidecar, and a *fresh* session (same master key) attaches
+    with ``open_table`` -- zero re-encryption, columns memory-mapped.
+    """
+
+    def __init__(self, session: "SeabedSession", name: str):
+        self._session = session
+        self.name = name
+
+    @property
+    def schema(self) -> sc.TableSchema:
+        return self._session.table_state(self.name).schema
+
+    @property
+    def enc_schema(self) -> sc.EncryptedSchema:
+        return self._session.table_state(self.name).enc_schema
+
+    @property
+    def num_rows(self) -> int:
+        return self._session.table_state(self.name).num_rows
+
+    @property
+    def store_path(self) -> str | None:
+        """Where the server-side table is memory-mapped from, if anywhere."""
+        return self._session.server.table(self.name).store_path
+
+    def save(self, path: str | None = None, overwrite: bool = False) -> str:
+        """Persist ciphertexts + client state; returns the store path.
+
+        ``path`` defaults to the table name, resolved against the
+        cluster's ``storage_dir``.  The written directory holds only
+        public material plus the ``client_state.json`` sidecar (plaintext
+        dictionaries, no keys) -- see :mod:`repro.core.persistence`.
+        """
+        session = self._session
+        state = session.table_state(self.name)
+        resolved = session.cluster.config.resolve_store_path(path or self.name)
+        column_meta = {
+            physical: plan.kind
+            for plan in state.enc_schema.plans.values()
+            for physical in plan.physical_columns()
+        }
+        write_store(
+            session.server.table(self.name),
+            resolved,
+            column_meta=column_meta,
+            overwrite=overwrite,
+        )
+        ps.write_sidecar(
+            resolved,
+            state,
+            mode=session.mode,
+            # The *table's* factory backend, not the session default: a
+            # table attached from a store keeps the PRF it was encrypted
+            # with, and a re-save must persist that same backend.
+            prf_backend=session._factories[self.name].prf_backend,
+            keychain=session._keychain,
+            paillier_n=(
+                session._paillier.n if session._paillier is not None else None
+            ),
+        )
+        return os.path.abspath(resolved)
+
+    def builder(self) -> QueryBuilder:
+        """A fluent query builder bound to this table."""
+        return self._session.table(self.name)
+
+    def __repr__(self) -> str:
+        return f"EncryptedTable({self.name!r}, rows={self.num_rows})"
+
+
 class SeabedSession:
     """The trusted client session: planner + encryptor + prepared-query
     execution over one keychain and cluster.
@@ -441,7 +521,7 @@ class SeabedSession:
                     if plan is None or plan.kind not in ("det", "plain"):
                         raise PlanningError(
                             f"join column {column!r} must be DET-planned (or "
-                            f"plain in NoEnc mode); got "
+                            "plain in NoEnc mode); got "
                             f"{plan.kind if plan else 'missing'}"
                         )
                     if plan.kind == "det":
@@ -475,6 +555,78 @@ class SeabedSession:
             encrypt_seconds=elapsed,
             physical_columns=len(encrypted.column_names),
         )
+
+    # -- persistence ----------------------------------------------------------------
+
+    def encrypted_table(self, name: str) -> EncryptedTable:
+        """Handle to a planned-and-uploaded table (see :class:`EncryptedTable`)."""
+        self._state(name)  # raises if unknown
+        return EncryptedTable(self, name)
+
+    def save_table(
+        self, name: str, path: str | None = None, overwrite: bool = False
+    ) -> str:
+        """Persist ``name``'s ciphertexts + client state to a partition
+        store; shorthand for ``encrypted_table(name).save(path)``."""
+        return self.encrypted_table(name).save(path, overwrite=overwrite)
+
+    def open_table(self, path: str) -> EncryptedTable:
+        """Attach a persisted table without re-encrypting anything.
+
+        This is the paper's upload-once model: the store was written by
+        :meth:`EncryptedTable.save` (possibly in another process); this
+        session -- constructed with the *same master key* -- reads the
+        client-state sidecar, memory-maps the ciphertext columns, and
+        registers both halves.  A wrong master key, a mode mismatch, or a
+        different Paillier key pair raises
+        :class:`~repro.errors.StorageError` up front instead of letting
+        queries decrypt garbage.
+        """
+        resolved = self.cluster.config.resolve_store_path(path)
+        state, attach = ps.read_sidecar(resolved)
+        name = state.schema.name
+        if name in self._states:
+            raise StorageError(
+                f"table {name!r} is already registered in this session"
+            )
+        if attach["mode"] != self.mode:
+            raise StorageError(
+                f"store at {resolved!r} was written in mode {attach['mode']!r}; "
+                f"this session runs mode {self.mode!r}"
+            )
+        if attach["key_check"] != ps.key_check_value(self._keychain, name):
+            raise StorageError(
+                "the session master key cannot decrypt the store at "
+                f"{resolved!r} (key-check mismatch)"
+            )
+        if self.mode == "paillier":
+            assert self._paillier is not None
+            if attach["paillier_n"] != self._paillier.n:
+                raise StorageError(
+                    "the session's Paillier key pair differs from the one "
+                    "that encrypted this store; pass the original keys"
+                )
+        table = open_store(resolved)
+        if table.name != name:
+            raise StorageError(
+                f"store manifest names table {table.name!r} but the sidecar "
+                f"describes {name!r}"
+            )
+        if table.num_rows != state.num_rows:
+            raise StorageError(
+                f"store holds {table.num_rows} rows but the client state "
+                f"recorded {state.num_rows}; the store is stale or corrupt"
+            )
+        self._states[name] = state
+        self._factories[name] = CryptoFactory(
+            self._keychain, name, prf_backend=attach["prf_backend"]
+        )
+        self._sample_queries.setdefault(name, [])
+        self.server.register(table)
+        # No cache invalidation needed: the name was unregistered until
+        # now, so no cached translation can reference it, and attaching
+        # must not evict other tables' hot templates.
+        return EncryptedTable(self, name)
 
     # -- the fluent surface -------------------------------------------------------
 
@@ -689,7 +841,7 @@ class SeabedSession:
                 return lambda: first.execute(user=user, **dict(second))
             if not (second is None or isinstance(second, int)):
                 raise TranslationError(
-                    f"per-query expected_groups must be int or None, "
+                    "per-query expected_groups must be int or None, "
                     f"got {type(second).__name__}"
                 )
             item, groups = first, second

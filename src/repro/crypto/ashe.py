@@ -147,7 +147,9 @@ class AsheScheme:
         self._bump(2 * arr.size)
         return (c + pads).view(np.int64)
 
-    def aggregate(self, cipher: np.ndarray, mask: np.ndarray | None, start_id: int) -> AsheCiphertext:
+    def aggregate(
+        self, cipher: np.ndarray, mask: np.ndarray | None, start_id: int
+    ) -> AsheCiphertext:
         """Server-side SUM over (optionally masked) ciphertext rows.
 
         This is the hot path a Seabed worker executes per partition: a

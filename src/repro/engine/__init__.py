@@ -17,6 +17,10 @@ deliberately transparent equivalent:
 - :mod:`repro.engine.metrics` -- per-stage and per-job timing accounting.
 - :mod:`repro.engine.storage` -- table (de)serialisation and the disk /
   memory accounting behind the paper's Table 5.
+- :mod:`repro.engine.store` -- the persistent columnar partition store:
+  encrypted columns as raw little-endian buffers on disk, loaded back as
+  read-only memory maps and dispatched to workers as ``(path, index)``
+  refs instead of pickled partitions.
 - :mod:`repro.engine.rdd` -- a small row-oriented RDD API (map / filter /
   reduce / reduceByKey) mirroring the Spark API targeted by the paper's
   query translator (Table 2).
@@ -32,6 +36,7 @@ from repro.engine.backends import ExecutionBackend, make_backend
 from repro.engine.cluster import ClusterConfig, SimulatedCluster
 from repro.engine.metrics import JobMetrics, StageMetrics
 from repro.engine.rdd import RDD
+from repro.engine.store import PartitionRef, open_store, resolve_partition, write_store
 from repro.engine.table import Partition, Table
 
 __all__ = [
@@ -39,9 +44,13 @@ __all__ = [
     "ExecutionBackend",
     "JobMetrics",
     "Partition",
+    "PartitionRef",
     "RDD",
     "SimulatedCluster",
     "StageMetrics",
     "Table",
     "make_backend",
+    "open_store",
+    "resolve_partition",
+    "write_store",
 ]

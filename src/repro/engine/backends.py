@@ -32,6 +32,7 @@ task, not one pool spin-up per stage.
 from __future__ import annotations
 
 import os
+import pickle
 import threading
 import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
@@ -51,6 +52,17 @@ TimedResult = Tuple[Any, float]
 def default_workers() -> int:
     """One worker per host CPU (the Spark executor default)."""
     return os.cpu_count() or 1
+
+
+def pickled_nbytes(obj: Any) -> int:
+    """Bytes ``obj`` costs to ship across a process boundary.
+
+    Benchmarks and the dispatch tracker use this to quantify stage
+    dispatch volume -- the payload a real cluster would serialise to its
+    executors (store-backed partitions ship as tiny refs instead of
+    column data, see :mod:`repro.engine.store`).
+    """
+    return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
 
 
 def timed_call(
@@ -205,6 +217,22 @@ class ProcessBackend(_PoolBackend):
     name = "processes"
     supports_closures = False
     timer = staticmethod(time.thread_time)
+
+    def __init__(self, workers: int | None = None):
+        super().__init__(workers)
+        #: when True, every pooled stage adds its pickled call-tuple sizes
+        #: to ``dispatched_bytes`` -- the benchmark hook quantifying what
+        #: this backend actually ships to workers per stage.
+        self.track_dispatch = False
+        self.dispatched_bytes = 0
+
+    def map_calls(
+        self, fn: Callable[..., T], calls: Sequence[tuple]
+    ) -> list[TimedResult]:
+        calls = list(calls)
+        if self.track_dispatch and len(calls) > 1:
+            self.dispatched_bytes += sum(pickled_nbytes(call) for call in calls)
+        return super().map_calls(fn, calls)
 
     def _make_pool(self) -> Executor:
         return ProcessPoolExecutor(max_workers=self.workers)

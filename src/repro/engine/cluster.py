@@ -19,6 +19,7 @@ effect on job latency can be studied without waiting for a real GC.
 from __future__ import annotations
 
 import heapq
+import os
 import threading
 import time
 from dataclasses import dataclass, replace
@@ -54,6 +55,11 @@ class ClusterConfig:
       be picklable top-level functions, which the server's are).
     - ``workers`` sizes the pool; ``0`` means one worker per host CPU.
 
+    ``storage_dir`` is the deployment's durable storage root: relative
+    store names passed to ``EncryptedTable.save`` / ``SeabedSession.
+    open_table`` resolve under it (the "cloud bucket" the paper uploads
+    encrypted datasets into once and attaches to repeatedly).
+
     The choice of backend changes only *real* wall-clock (reported per
     stage as ``StageMetrics.wall_time`` and per job as
     ``JobMetrics.real_time``); the *simulated* makespan is still computed
@@ -73,6 +79,7 @@ class ClusterConfig:
     seed: int = 0
     backend: str = "serial"  # "serial" | "threads" | "processes"
     workers: int = 0  # pool width; 0 -> one worker per host CPU
+    storage_dir: str | None = None  # root for persistent partition stores
 
     def with_cores(self, cores: int) -> "ClusterConfig":
         return replace(self, cores=cores)
@@ -86,6 +93,19 @@ class ClusterConfig:
 
     def with_backend(self, backend: str, workers: int = 0) -> "ClusterConfig":
         return replace(self, backend=backend, workers=workers)
+
+    def with_storage(self, storage_dir: str | None) -> "ClusterConfig":
+        return replace(self, storage_dir=storage_dir)
+
+    def resolve_store_path(self, name_or_path: str) -> str:
+        """Resolve a store name against ``storage_dir`` (absolute paths and
+        explicitly relative ``./``-style paths pass through)."""
+        if self.storage_dir is None or os.path.isabs(name_or_path):
+            return name_or_path
+        head = name_or_path.split(os.sep, 1)[0]
+        if head in (".", ".."):
+            return name_or_path
+        return os.path.join(self.storage_dir, name_or_path)
 
 
 def makespan(durations: Sequence[float], cores: int) -> float:

@@ -36,8 +36,12 @@ _DTYPE_TAGS: dict[str, int] = {"int64": 0, "uint64": 1, "float64": 2, "object": 
 _TAG_DTYPES = {v: k for k, v in _DTYPE_TAGS.items()}
 
 
-def _encode_object_column(arr: np.ndarray) -> bytes:
-    """Length-prefixed big-endian big-ints (sign carried in a lead byte)."""
+def encode_object_column(arr: np.ndarray) -> bytes:
+    """Length-prefixed big-endian big-ints (sign carried in a lead byte).
+
+    Shared with :mod:`repro.engine.store`, which persists Paillier
+    ciphertext columns in this framing (big-ints cannot be memory-mapped).
+    """
     out = bytearray()
     for x in arr.ravel().tolist():
         x = int(x)
@@ -48,7 +52,7 @@ def _encode_object_column(arr: np.ndarray) -> bytes:
     return bytes(out)
 
 
-def _decode_object_column(data: bytes, rows: int) -> np.ndarray:
+def decode_object_column(data: bytes, rows: int) -> np.ndarray:
     out = np.empty(rows, dtype=object)
     offset = 0
     for j in range(rows):
@@ -76,7 +80,7 @@ def serialize_table(table: Table, compress: bool = False) -> bytes:
             if dtype_name not in _DTYPE_TAGS:
                 raise ExecutionError(f"unsupported column dtype {arr.dtype} in {cname!r}")
             if arr.dtype == object:
-                payload = _encode_object_column(arr)
+                payload = encode_object_column(arr)
                 width = 1
                 rows = len(arr)
             else:
@@ -130,7 +134,7 @@ def deserialize_table(data: bytes) -> Table:
                 payload = zlib.decompress(payload)
             dtype_name = _TAG_DTYPES[tag]
             if dtype_name == "object":
-                arr = _decode_object_column(payload, rows)
+                arr = decode_object_column(payload, rows)
             else:
                 arr = np.frombuffer(payload, dtype=np.dtype(dtype_name)).copy()
                 if ndim == 2:

@@ -1,0 +1,384 @@
+"""Persistent columnar partition store with memory-mapped loading.
+
+The paper's deployment model (Sections 5-6) is a long-lived encrypted
+dataset living in untrusted cloud storage: the client encrypts and uploads
+once, then analytics jobs attach to the stored ciphertexts again and
+again.  This module is that durable layer for the simulated cluster.
+
+Layout of one store directory::
+
+    <store>/
+      manifest.json          # format version, schema, spans, file sizes
+      part-00000/
+        revenue__ashe.bin    # raw little-endian numpy buffer
+        country__det.bin
+        ...
+      part-00001/...
+
+Every numeric column is written as its raw C-contiguous little-endian
+buffer and loaded back as a read-only :class:`numpy.memmap` view, so a
+partition larger than RAM streams from the OS page cache and opening a
+table costs directory stats, not byte copies.  Paillier ciphertext
+columns (``object`` dtype big-ints) cannot be mapped; they reuse the
+varint framing of :mod:`repro.engine.storage` and load eagerly.
+
+The manifest records each partition's row-ID interval with the ID-list
+span codec (:func:`repro.idlist.codec.encode_id_spans`) -- the same
+serialisation machinery the query path ships ID lists with -- plus
+per-file byte counts, so truncated or swapped column files are rejected
+with :class:`~repro.errors.StorageError` before a single ciphertext is
+decrypted.
+
+:class:`PartitionRef` is the store's unit of *dispatch*: a tiny picklable
+``(path, index)`` descriptor.  Stage task bodies resolve it through a
+per-process reader cache (:func:`resolve_partition`), so the
+``processes`` execution backend ships descriptors to pool workers and
+each worker maps its slice locally instead of receiving pickled column
+payloads -- the same reason Spark tasks read their HDFS split locally
+rather than having the driver push blocks.
+
+Everything stored here is public material: ciphertext columns, row IDs,
+and dtype bookkeeping.  Client-side state (plaintext schema, dictionaries,
+key-check values) is persisted separately by :mod:`repro.core.persistence`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.storage import decode_object_column, encode_object_column
+from repro.engine.table import Partition, Table
+from repro.errors import StorageError
+from repro.idlist.codec import decode_id_spans, encode_id_spans
+
+FORMAT_NAME = "seabed-store"
+FORMAT_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+
+#: numpy dtype name -> on-disk little-endian spec (the manifest records
+#: the spec, so byte order is explicit regardless of the writing host).
+_DTYPE_SPECS: dict[str, str] = {
+    "int64": "<i8",
+    "uint64": "<u8",
+    "float64": "<f8",
+    "bool": "|b1",
+    "object": "object",
+}
+_SPEC_DTYPES = {v: k for k, v in _DTYPE_SPECS.items()}
+
+
+@dataclass(frozen=True)
+class PartitionRef:
+    """Picklable handle to one stored partition: what stage dispatch ships."""
+
+    path: str
+    index: int
+
+
+def _partition_dir(index: int) -> str:
+    return f"part-{index:05d}"
+
+
+def _column_filename(name: str) -> str:
+    if not name or name in (".", "..") or os.sep in name or "\x00" in name:
+        raise StorageError(f"column name {name!r} is not storable")
+    return f"{name}.bin"
+
+
+# ---------------------------------------------------------------------------
+# Writing
+# ---------------------------------------------------------------------------
+
+
+def _column_spec(name: str, arr: np.ndarray) -> dict:
+    dtype_name = "object" if arr.dtype == object else arr.dtype.name
+    spec = _DTYPE_SPECS.get(dtype_name)
+    if spec is None:
+        raise StorageError(
+            f"column {name!r} has unsupported dtype {arr.dtype} "
+            f"(storable: {sorted(_DTYPE_SPECS)})"
+        )
+    if arr.ndim not in (1, 2):
+        raise StorageError(f"column {name!r} has unsupported ndim {arr.ndim}")
+    return {
+        "dtype": spec,
+        "ndim": int(arr.ndim),
+        "width": 1 if arr.ndim == 1 else int(arr.shape[1]),
+    }
+
+
+def write_store(
+    table: Table,
+    path: str | os.PathLike,
+    column_meta: dict[str, str] | None = None,
+    overwrite: bool = False,
+) -> str:
+    """Persist ``table`` under ``path``; returns the absolute store path.
+
+    ``column_meta`` attaches one opaque string per column to the manifest
+    (the session records each physical column's encryption class there).
+    An existing store is refused unless ``overwrite=True``, in which case
+    its partition directories and manifest are replaced atomically enough
+    for a single writer (manifest written last).
+    """
+    path = os.path.abspath(os.fspath(path))
+    manifest_path = os.path.join(path, MANIFEST_NAME)
+    if os.path.exists(manifest_path):
+        if not overwrite:
+            raise StorageError(
+                f"store already exists at {path!r}; pass overwrite=True to replace"
+            )
+        _evict_cached(path)
+        for entry in os.listdir(path):
+            if entry == MANIFEST_NAME or entry.startswith("part-"):
+                target = os.path.join(path, entry)
+                shutil.rmtree(target) if os.path.isdir(target) else os.remove(target)
+    os.makedirs(path, exist_ok=True)
+
+    if not table.partitions:
+        raise StorageError(f"table {table.name!r} has no partitions to store")
+    columns: dict[str, dict] = {}
+    for name in table.column_names:
+        columns[name] = _column_spec(name, table.partitions[0].column(name))
+        if column_meta and name in column_meta:
+            columns[name]["enc"] = column_meta[name]
+
+    partitions = []
+    starts = np.asarray([p.start_id for p in table.partitions], dtype=np.uint64)
+    counts = np.asarray([p.nrows for p in table.partitions], dtype=np.uint64)
+    for index, part in enumerate(table.partitions):
+        part_dir = os.path.join(path, _partition_dir(index))
+        os.makedirs(part_dir, exist_ok=True)
+        files: dict[str, int] = {}
+        for name, spec in columns.items():
+            arr = part.column(name)
+            actual = _column_spec(name, arr)
+            if (actual["dtype"], actual["width"]) != (spec["dtype"], spec["width"]):
+                raise StorageError(
+                    f"column {name!r} changes dtype/shape across partitions"
+                )
+            target = os.path.join(part_dir, _column_filename(name))
+            if spec["dtype"] == "object":
+                payload = encode_object_column(arr)
+                with open(target, "wb") as fh:
+                    fh.write(payload)
+                files[name] = len(payload)
+            else:
+                buf = np.ascontiguousarray(arr, dtype=np.dtype(spec["dtype"]))
+                buf.tofile(target)
+                files[name] = int(buf.nbytes)
+        partitions.append({"dir": _partition_dir(index), "files": files})
+
+    manifest = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "table": table.name,
+        "num_rows": int(counts.sum()),
+        "spans_hex": encode_id_spans(starts, counts).hex(),
+        "columns": columns,
+        "partitions": partitions,
+    }
+    tmp = manifest_path + ".tmp"
+    with open(tmp, "w") as fh:
+        json.dump(manifest, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, manifest_path)
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Reading
+# ---------------------------------------------------------------------------
+
+
+class StoreReader:
+    """One opened store: parsed manifest plus lazily mapped partitions."""
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = os.path.abspath(os.fspath(path))
+        manifest_path = os.path.join(self.path, MANIFEST_NAME)
+        self.generation = _store_generation(manifest_path)
+        try:
+            with open(manifest_path) as fh:
+                manifest = json.load(fh)
+        except FileNotFoundError:
+            raise StorageError(f"no partition store at {self.path!r}") from None
+        except json.JSONDecodeError as exc:
+            raise StorageError(f"corrupt store manifest at {self.path!r}: {exc}") from None
+        if manifest.get("format") != FORMAT_NAME:
+            raise StorageError(f"{self.path!r} is not a {FORMAT_NAME} directory")
+        version = manifest.get("version")
+        if version != FORMAT_VERSION:
+            raise StorageError(
+                f"store at {self.path!r} has format version {version!r}; "
+                f"this build reads version {FORMAT_VERSION}"
+            )
+        self.manifest = manifest
+        self.table_name: str = manifest["table"]
+        starts, counts = decode_id_spans(bytes.fromhex(manifest["spans_hex"]))
+        if len(starts) != len(manifest["partitions"]):
+            raise StorageError(
+                f"store at {self.path!r}: span count does not match partitions"
+            )
+        self._starts = starts
+        self._counts = counts
+        self._partitions: dict[int, Partition] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.manifest["partitions"])
+
+    @property
+    def num_rows(self) -> int:
+        return int(self._counts.sum())
+
+    def partition(self, index: int) -> Partition:
+        """The partition at ``index``, memory-mapped and cached."""
+        with self._lock:
+            part = self._partitions.get(index)
+            if part is None:
+                part = self._load_partition(index)
+                self._partitions[index] = part
+            return part
+
+    def table(self) -> Table:
+        """Materialise the whole table (column data stays memory-mapped)."""
+        parts = [self.partition(i) for i in range(self.num_partitions)]
+        return Table(self.table_name, parts, store_path=self.path)
+
+    # -- internals -----------------------------------------------------------
+
+    def _load_partition(self, index: int) -> Partition:
+        if not 0 <= index < self.num_partitions:
+            raise StorageError(
+                f"store at {self.path!r} has no partition {index} "
+                f"(0..{self.num_partitions - 1})"
+            )
+        entry = self.manifest["partitions"][index]
+        rows = int(self._counts[index])
+        part_dir = os.path.join(self.path, entry["dir"])
+        columns: dict[str, np.ndarray] = {}
+        for name, spec in self.manifest["columns"].items():
+            target = os.path.join(part_dir, _column_filename(name))
+            expected = int(entry["files"][name])
+            try:
+                actual = os.path.getsize(target)
+            except OSError:
+                raise StorageError(
+                    f"store at {self.path!r}: missing column file "
+                    f"{entry['dir']}/{name}.bin"
+                ) from None
+            if actual != expected:
+                raise StorageError(
+                    f"store at {self.path!r}: column file {entry['dir']}/{name}.bin "
+                    f"is {actual} bytes, manifest says {expected} (truncated or "
+                    "overwritten?)"
+                )
+            columns[name] = self._load_column(target, spec, rows, expected)
+        return Partition(
+            columns=columns,
+            start_id=int(self._starts[index]),
+            ref=PartitionRef(self.path, index),
+        )
+
+    def _load_column(
+        self, target: str, spec: dict, rows: int, nbytes: int
+    ) -> np.ndarray:
+        if spec["dtype"] == "object":
+            with open(target, "rb") as fh:
+                return decode_object_column(fh.read(), rows)
+        dtype = np.dtype(spec["dtype"])
+        width = int(spec["width"])
+        shape = (rows,) if spec["ndim"] == 1 else (rows, width)
+        if rows * width * dtype.itemsize != nbytes:
+            raise StorageError(
+                f"store at {self.path!r}: {os.path.basename(target)} holds "
+                f"{nbytes} bytes but the manifest shape needs "
+                f"{rows * width * dtype.itemsize}"
+            )
+        if rows == 0:
+            return np.empty(shape, dtype=dtype)
+        # mode="r" maps the ciphertexts read-only: partitions stream from
+        # the page cache and no task can mutate stored data in place.
+        return np.memmap(target, dtype=dtype, mode="r", shape=shape)
+
+
+# ---------------------------------------------------------------------------
+# The per-process reader cache (worker-side resolution)
+# ---------------------------------------------------------------------------
+
+_READERS: dict[str, StoreReader] = {}
+_READERS_LOCK = threading.Lock()
+
+
+def _store_generation(manifest_path: str) -> tuple | None:
+    """Identity of the manifest file on disk (rewrites replace the inode)."""
+    try:
+        st = os.stat(manifest_path)
+    except OSError:
+        return None
+    return (st.st_ino, st.st_mtime_ns, st.st_size)
+
+
+def reader(path: str | os.PathLike) -> StoreReader:
+    """Open (or reuse) the cached reader for ``path``.
+
+    Pool worker processes call this through :func:`resolve_partition`, so
+    each process parses a store's manifest once and keeps its maps open
+    across stages.  A cheap manifest stat guards the cache: a store
+    rewritten by *any* process (``write_store`` replaces the manifest
+    atomically, so its inode changes) is re-opened instead of served from
+    stale maps.
+    """
+    key = os.path.abspath(os.fspath(path))
+    generation = _store_generation(os.path.join(key, MANIFEST_NAME))
+    with _READERS_LOCK:
+        found = _READERS.get(key)
+        if found is None or found.generation != generation:
+            found = StoreReader(key)
+            _READERS[key] = found
+        return found
+
+
+def _evict_cached(path: str) -> None:
+    with _READERS_LOCK:
+        _READERS.pop(os.path.abspath(path), None)
+
+
+def open_store(path: str | os.PathLike) -> Table:
+    """Attach to a stored table: manifest parse + memory maps, no copies."""
+    return reader(path).table()
+
+
+def resolve_partition(part: Partition | PartitionRef) -> Partition:
+    """Turn a dispatched :class:`PartitionRef` back into a partition.
+
+    In-memory partitions pass through untouched; refs resolve through the
+    per-process reader cache, so a worker's first touch of a store maps
+    its files and every later stage is a dictionary lookup.
+    """
+    if isinstance(part, PartitionRef):
+        return reader(part.path).partition(part.index)
+    return part
+
+
+def dispatch_payload(part: Partition) -> Partition | PartitionRef:
+    """What a stage should ship for ``part``: its ref when store-backed."""
+    return part.ref if part.ref is not None else part
+
+
+def disk_bytes(path: str | os.PathLike) -> int:
+    """Total bytes the store occupies on disk (column files + manifest)."""
+    path = os.fspath(path)
+    total = 0
+    for dirpath, _, filenames in os.walk(path):
+        for filename in filenames:
+            total += os.path.getsize(os.path.join(dirpath, filename))
+    return total

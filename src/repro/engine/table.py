@@ -14,7 +14,7 @@ Columns are numpy arrays: ``int64`` plaintext / dictionary codes,
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import Any, Iterable, Mapping
 
 import numpy as np
 
@@ -23,10 +23,17 @@ from repro.errors import ExecutionError
 
 @dataclass
 class Partition:
-    """One horizontal slice of a table."""
+    """One horizontal slice of a table.
+
+    ``ref`` is set when the partition's columns are memory-mapped views of
+    a persistent store (:mod:`repro.engine.store`): a small picklable
+    ``(path, index)`` descriptor that workers resolve locally, so stage
+    dispatch ships the descriptor instead of the column payloads.
+    """
 
     columns: dict[str, np.ndarray]
     start_id: int
+    ref: Any = None  # repro.engine.store.PartitionRef | None
 
     def __post_init__(self) -> None:
         lengths = {name: len(arr) for name, arr in self.columns.items()}
@@ -52,11 +59,21 @@ class Partition:
 
 
 class Table:
-    """A named, partitioned, columnar dataset."""
+    """A named, partitioned, columnar dataset.
 
-    def __init__(self, name: str, partitions: list[Partition]):
+    ``store_path`` names the persistent store the partitions were
+    memory-mapped from (None for purely in-memory tables).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        partitions: list[Partition],
+        store_path: str | None = None,
+    ):
         self.name = name
         self.partitions = partitions
+        self.store_path = store_path
         self._validate()
 
     def _validate(self) -> None:

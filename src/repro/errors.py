@@ -31,6 +31,10 @@ class ExecutionError(SeabedError):
     """The engine failed while executing a physical plan."""
 
 
+class StorageError(SeabedError):
+    """A persistent partition store is missing, corrupt, or incompatible."""
+
+
 class DecryptionError(SeabedError):
     """The client-side decryption module received an inconsistent result."""
 

@@ -17,7 +17,6 @@ import numpy as np
 
 from repro.errors import EncodingError
 from repro.idlist.idlist import IdList
-from repro.idlist.varbyte import decode as vb_decode
 from repro.idlist.varbyte import encode as vb_encode
 
 _U64 = np.uint64

@@ -183,6 +183,41 @@ def encode_multiset(ids: np.ndarray, deflate_level: int | None = 1) -> bytes:
     return bytes([flags]) + payload
 
 
+def encode_id_spans(starts: np.ndarray, counts: np.ndarray) -> bytes:
+    """Encode per-partition row-ID spans with the ID-list pipeline.
+
+    A partition store's manifest records each partition as the half-open
+    row-ID interval ``[start, start + count)``.  Those intervals are
+    exactly the (start, length) pairs of the range transform, so the
+    store reuses this module's serialisation: interleave
+    ``start_0, count_0, start_1, count_1, ...``, diff-encode the starts
+    (partition starts are sorted, Section 4.2's consecutive-ID property),
+    and variable-byte pack.  Self-describing via the shared flag byte.
+    """
+    starts = np.asarray(starts, dtype=np.uint64)
+    counts = np.asarray(counts, dtype=np.uint64)
+    if starts.shape != counts.shape:
+        raise EncodingError("id spans need one count per start")
+    if starts.size and bool(np.any(starts[1:] < starts[:-1])):
+        raise EncodingError("id-span starts must be sorted")
+    seq = np.empty(2 * starts.size, dtype=np.uint64)
+    if starts.size:
+        seq[0::2] = encoding.diff_encode(starts)
+        seq[1::2] = counts
+    return bytes([_FLAG_RANGES | _FLAG_DIFF]) + varbyte.encode(seq)
+
+
+def decode_id_spans(data: bytes) -> tuple[np.ndarray, np.ndarray]:
+    """Decode :func:`encode_id_spans` output back to (starts, counts)."""
+    if not data or data[0] != (_FLAG_RANGES | _FLAG_DIFF):
+        raise EncodingError("not an id-span codec payload")
+    seq = varbyte.decode(data[1:])
+    if seq.size % 2:
+        raise EncodingError("truncated id-span payload")
+    starts = encoding.diff_decode(seq[0::2])
+    return starts, seq[1::2].copy()
+
+
 def decode_multiset(data: bytes) -> np.ndarray:
     """Decode a multiset payload back to the sorted uint64 ID array."""
     if not data or not data[0] & _FLAG_MULTISET:

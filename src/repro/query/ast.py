@@ -10,7 +10,7 @@ shareable between the client-side planner and translator.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Union
 
 AGGREGATE_FUNCS = frozenset(

@@ -31,8 +31,8 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass
 
-from repro.ops import OPS
 from repro.errors import ParseError
+from repro.ops import OPS
 from repro.query.ast import (
     AGGREGATE_FUNCS,
     Aggregate,

@@ -12,4 +12,6 @@
 - :mod:`repro.workloads.tpcds` -- a feature catalog of the 99 TPC-DS
   queries (Table 4).
 - :mod:`repro.workloads.distributions` -- Zipf and skew helpers.
+- :mod:`repro.workloads.persist` -- the save / fresh-session / attach
+  round-trip the loaders' ``--persist`` flags run.
 """

@@ -1,0 +1,56 @@
+"""Persistence round-trips for workload loaders.
+
+Every workload loader builds a session, plans, and uploads; with a
+``--persist DIR`` flag (or the helper below) it additionally exercises
+the paper's deployment loop: save the encrypted table to a partition
+store, attach it from a *fresh* session holding the same master key, and
+verify the reopened table answers queries identically with zero
+re-encryption.  This is the cheapest end-to-end proof that a dataset
+uploaded once keeps serving analytics jobs from disk.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING
+
+from repro.ops import OPS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.session import EncryptedTable, SeabedSession
+
+
+def persist_round_trip(
+    session: "SeabedSession",
+    table: str,
+    directory: str | os.PathLike,
+    master_key: bytes,
+    overwrite: bool = True,
+    **session_kwargs,
+) -> tuple["SeabedSession", "EncryptedTable"]:
+    """Save ``table``, reattach it from a brand-new session, and prove the
+    attach performed zero encryption work.
+
+    ``master_key`` must be the key ``session`` was constructed with (the
+    sidecar's key-check rejects any other).  Extra ``session_kwargs``
+    (cluster, prf_backend, paillier keys...) are forwarded to the fresh
+    session.  Returns ``(fresh_session, handle)``.
+    """
+    from repro.core.session import SeabedSession
+
+    store_path = session.save_table(
+        table, os.path.join(os.fspath(directory), table), overwrite=overwrite
+    )
+    fresh = SeabedSession(
+        master_key=master_key, mode=session.mode, **session_kwargs
+    )
+    before = OPS.snapshot()
+    handle = fresh.open_table(store_path)
+    encrypt_ops = {
+        op: n for op, n in OPS.delta(before).items() if op.startswith("encrypt")
+    }
+    if encrypt_ops:  # pragma: no cover - guards a regression
+        raise AssertionError(
+            f"attaching a stored table re-encrypted data: {encrypt_ops}"
+        )
+    return fresh, handle

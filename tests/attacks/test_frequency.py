@@ -49,7 +49,6 @@ class TestSplasheDefence:
     """The same attack is at chance against the balanced DET column."""
 
     def test_balanced_column_defeats_attack(self):
-        rng = np.random.default_rng(2)
         np_rng = np.random.default_rng(3)
         # Distribution over 6 values: 0 and 1 frequent, 2..5 skewed among
         # themselves -- exactly the case a frequency attacker exploits.

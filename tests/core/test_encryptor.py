@@ -47,7 +47,7 @@ class TestEncryptBatch:
     def test_row_id_cursor_advances(self):
         state = make_state()
         module = EncryptionModule(CryptoFactory(KeyChain(KEY), "t"), seed=0)
-        t1 = module.encrypt_batch(state, columns(50))
+        module.encrypt_batch(state, columns(50))
         t2 = module.encrypt_batch(state, columns(30, seed=1))
         assert state.next_row_id == 80
         assert t2.partitions[0].start_id == 50  # contiguous across batches

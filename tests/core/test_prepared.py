@@ -3,8 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.core.session import SeabedSession
 from repro.core.schema import ColumnSpec, TableSchema
+from repro.core.session import SeabedSession
 from repro.errors import TranslationError
 from repro.ops import OPS
 from repro.query.parser import parse_query

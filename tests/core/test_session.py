@@ -4,8 +4,8 @@ import numpy as np
 import pytest
 
 from repro.core.proxy import SeabedClient
-from repro.core.session import PreparedQuery, SeabedSession, TranslationCache
 from repro.core.schema import ColumnSpec, TableSchema
+from repro.core.session import PreparedQuery, SeabedSession, TranslationCache
 from repro.engine.cluster import ClusterConfig, SimulatedCluster
 from repro.errors import PlanningError, TranslationError
 from repro.ops import OPS

@@ -15,7 +15,6 @@ from repro.crypto.ashe import (
 )
 from repro.crypto.prf import Blake2Prf, SplitMix64Prf
 from repro.errors import CryptoError, DecryptionError
-from repro.idlist import IdList
 
 KEY = b"0123456789abcdef0123456789abcdef"
 

@@ -1,12 +1,13 @@
 """Tests for the Paillier baseline (repro.crypto.paillier)."""
 
+from random import Random
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.crypto.paillier import PaillierKeyPair, PaillierScheme, _is_probable_prime
-from random import Random
 
 KEYS = PaillierKeyPair.generate(bits=256, seed=42)
 

@@ -1,7 +1,6 @@
 """Tests for the pluggable execution backends (repro.engine.backends)."""
 
 import threading
-import time
 
 import pytest
 

@@ -1,0 +1,231 @@
+"""Tests for the persistent partition store (repro.engine.store)."""
+
+import json
+import os
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.engine.store import (
+    FORMAT_VERSION,
+    MANIFEST_NAME,
+    PartitionRef,
+    StoreReader,
+    disk_bytes,
+    dispatch_payload,
+    open_store,
+    reader,
+    resolve_partition,
+    write_store,
+)
+from repro.engine.table import Partition, Table
+from repro.errors import StorageError
+
+
+def build_table(rows: int = 24, partitions: int = 3) -> Table:
+    rng = np.random.default_rng(7)
+    objs = np.empty(rows, dtype=object)
+    for i in range(rows):
+        objs[i] = (1 << 100) + i if i % 2 == 0 else -(1 << 90) - i
+    return Table.from_columns(
+        "mixed",
+        {
+            "i": rng.integers(-100, 100, rows).astype(np.int64),
+            "u": rng.integers(0, 2**63, rows).astype(np.uint64),
+            "f": rng.random(rows),
+            "big": objs,
+            "ore": rng.integers(0, 2**63, (rows, 2)).astype(np.uint64),
+        },
+        num_partitions=partitions,
+        base_id=100,
+    )
+
+
+def assert_tables_equal(a: Table, b: Table) -> None:
+    assert a.name == b.name
+    assert a.num_partitions == b.num_partitions
+    for pa, pb in zip(a.partitions, b.partitions):
+        assert pa.start_id == pb.start_id
+        assert sorted(pa.columns) == sorted(pb.columns)
+        for name in pa.columns:
+            assert np.array_equal(pa.column(name), np.asarray(pb.column(name))), name
+
+
+class TestRoundTrip:
+    def test_bit_for_bit(self, tmp_path):
+        table = build_table()
+        path = write_store(table, tmp_path / "mixed")
+        reopened = open_store(path)
+        assert_tables_equal(table, reopened)
+        assert reopened.store_path == os.path.abspath(path)
+
+    def test_numeric_columns_are_readonly_memmaps(self, tmp_path):
+        path = write_store(build_table(), tmp_path / "mixed")
+        reopened = open_store(path)
+        col = reopened.partitions[0].column("u")
+        assert isinstance(col, np.memmap)
+        with pytest.raises(ValueError):
+            col[0] = 1  # mode="r" maps reject writes
+
+    def test_object_column_loads_eagerly(self, tmp_path):
+        path = write_store(build_table(), tmp_path / "mixed")
+        big = open_store(path).partitions[0].column("big")
+        assert big.dtype == object
+        assert isinstance(big[0], int) and big[0] >> 99
+
+    def test_partition_refs_assigned(self, tmp_path):
+        path = write_store(build_table(), tmp_path / "mixed")
+        reopened = open_store(path)
+        for index, part in enumerate(reopened.partitions):
+            assert part.ref == PartitionRef(os.path.abspath(path), index)
+
+    def test_column_meta_recorded(self, tmp_path):
+        path = write_store(
+            build_table(), tmp_path / "mixed", column_meta={"u": "ashe"}
+        )
+        manifest = json.load(open(os.path.join(path, MANIFEST_NAME)))
+        assert manifest["columns"]["u"]["enc"] == "ashe"
+        assert "enc" not in manifest["columns"]["i"]
+
+    def test_disk_bytes_accounts_files(self, tmp_path):
+        path = write_store(build_table(), tmp_path / "mixed")
+        raw = sum(
+            os.path.getsize(os.path.join(dirpath, f))
+            for dirpath, _, files in os.walk(path)
+            for f in files
+        )
+        assert disk_bytes(path) == raw > 0
+
+
+class TestOverwrite:
+    def test_existing_store_refused(self, tmp_path):
+        table = build_table()
+        write_store(table, tmp_path / "s")
+        with pytest.raises(StorageError, match="already exists"):
+            write_store(table, tmp_path / "s")
+
+    def test_overwrite_replaces(self, tmp_path):
+        write_store(build_table(rows=24, partitions=4), tmp_path / "s")
+        table = build_table(rows=12, partitions=2)
+        path = write_store(table, tmp_path / "s", overwrite=True)
+        reopened = open_store(path)
+        assert reopened.num_partitions == 2
+        assert_tables_equal(table, reopened)
+        assert not os.path.exists(os.path.join(path, "part-00002"))
+
+
+class TestCorruption:
+    def test_version_mismatch(self, tmp_path):
+        path = write_store(build_table(), tmp_path / "s")
+        manifest_path = os.path.join(path, MANIFEST_NAME)
+        manifest = json.load(open(manifest_path))
+        manifest["version"] = FORMAT_VERSION + 1
+        json.dump(manifest, open(manifest_path, "w"))
+        with pytest.raises(StorageError, match="format version"):
+            open_store(path)
+
+    def test_truncated_column_file(self, tmp_path):
+        path = write_store(build_table(), tmp_path / "s")
+        target = os.path.join(path, "part-00001", "u.bin")
+        with open(target, "r+b") as fh:
+            fh.truncate(os.path.getsize(target) - 8)
+        with pytest.raises(StorageError, match="truncated|bytes"):
+            open_store(path)
+
+    def test_missing_column_file(self, tmp_path):
+        path = write_store(build_table(), tmp_path / "s")
+        os.remove(os.path.join(path, "part-00000", "f.bin"))
+        with pytest.raises(StorageError, match="missing column file"):
+            open_store(path)
+
+    def test_missing_manifest(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(StorageError, match="no partition store"):
+            open_store(tmp_path / "empty")
+
+    def test_corrupt_manifest(self, tmp_path):
+        path = write_store(build_table(), tmp_path / "s")
+        with open(os.path.join(path, MANIFEST_NAME), "w") as fh:
+            fh.write("{ not json")
+        with pytest.raises(StorageError, match="corrupt"):
+            open_store(path)
+
+    def test_wrong_format_marker(self, tmp_path):
+        path = write_store(build_table(), tmp_path / "s")
+        manifest_path = os.path.join(path, MANIFEST_NAME)
+        manifest = json.load(open(manifest_path))
+        manifest["format"] = "something-else"
+        json.dump(manifest, open(manifest_path, "w"))
+        with pytest.raises(StorageError, match="not a seabed-store"):
+            open_store(path)
+
+
+class TestDispatch:
+    def test_dispatch_payload_prefers_refs(self, tmp_path):
+        path = write_store(build_table(), tmp_path / "s")
+        stored = open_store(path)
+        ref = dispatch_payload(stored.partitions[1])
+        assert ref == PartitionRef(os.path.abspath(path), 1)
+        inmem = build_table().partitions[0]
+        assert dispatch_payload(inmem) is inmem
+
+    def test_resolve_partition_round_trip(self, tmp_path):
+        table = build_table()
+        path = write_store(table, tmp_path / "s")
+        ref = PartitionRef(os.path.abspath(path), 2)
+        part = resolve_partition(ref)
+        assert isinstance(part, Partition)
+        assert part.start_id == table.partitions[2].start_id
+        assert np.array_equal(part.column("i"), table.partitions[2].column("i"))
+        # Second resolution hits the per-process reader cache.
+        assert resolve_partition(ref) is part
+
+    def test_resolve_passthrough_for_inmemory(self):
+        part = build_table().partitions[0]
+        assert resolve_partition(part) is part
+
+    def test_out_of_range_partition(self, tmp_path):
+        path = write_store(build_table(partitions=3), tmp_path / "s")
+        with pytest.raises(StorageError, match="no partition"):
+            StoreReader(path).partition(9)
+
+    def test_reader_cache_detects_external_rewrite(self, tmp_path):
+        """A store rewritten by *another* process (simulated here by a
+        manifest replacement the local cache never saw) must not be
+        served from stale maps -- the manifest stat guards the cache."""
+        path = write_store(build_table(rows=24, partitions=4), tmp_path / "s")
+        stale = reader(path)
+        assert stale.num_partitions == 4
+        # Rewrite out-of-band: stage elsewhere, then move the new
+        # manifest + partitions in (new inode, no in-process eviction).
+        other = write_store(build_table(rows=12, partitions=2), tmp_path / "o")
+        for entry in os.listdir(path):
+            target = os.path.join(path, entry)
+            shutil.rmtree(target) if os.path.isdir(target) else os.remove(target)
+        for entry in os.listdir(other):
+            os.rename(os.path.join(other, entry), os.path.join(path, entry))
+        fresh = reader(path)
+        assert fresh is not stale
+        assert fresh.num_partitions == 2
+        assert open_store(path).num_partitions == 2
+
+
+class TestValidation:
+    def test_unsupported_dtype_rejected(self, tmp_path):
+        table = Table.from_columns(
+            "bad", {"x": np.arange(4, dtype=np.int32)}, num_partitions=1
+        )
+        with pytest.raises(StorageError, match="unsupported dtype"):
+            write_store(table, tmp_path / "bad")
+
+    def test_unstorable_column_name_rejected(self, tmp_path):
+        table = Table.from_columns(
+            "bad", {"a/b": np.arange(4, dtype=np.int64)}, num_partitions=1
+        )
+        with pytest.raises(StorageError, match="not storable"):
+            write_store(table, tmp_path / "bad")
+
+    def test_empty_table_rejected(self, tmp_path):
+        with pytest.raises(StorageError, match="no partitions"):
+            write_store(Table("empty", []), tmp_path / "empty")

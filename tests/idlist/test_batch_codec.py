@@ -2,7 +2,6 @@
 ``encode_groups_vb_diff`` / ``decode_chunks_batch`` / varbyte offsets."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -103,3 +103,56 @@ def test_property_round_trip(name, ids):
     codec = get_codec(name)
     lst = IdList.from_ids(sorted(ids))
     assert codec.decode(codec.encode(lst)) == lst
+
+
+class TestIdSpans:
+    """The partition-store span serialisation (manifest row-ID intervals)."""
+
+    def test_round_trip(self):
+        from repro.idlist.codec import decode_id_spans, encode_id_spans
+
+        starts = np.array([0, 100, 250, 1000], dtype=np.uint64)
+        counts = np.array([100, 150, 750, 3], dtype=np.uint64)
+        out_starts, out_counts = decode_id_spans(encode_id_spans(starts, counts))
+        assert np.array_equal(out_starts, starts)
+        assert np.array_equal(out_counts, counts)
+
+    def test_empty(self):
+        from repro.idlist.codec import decode_id_spans, encode_id_spans
+
+        starts, counts = decode_id_spans(
+            encode_id_spans(np.empty(0, np.uint64), np.empty(0, np.uint64))
+        )
+        assert starts.size == 0 and counts.size == 0
+
+    def test_mismatched_lengths_rejected(self):
+        from repro.idlist.codec import encode_id_spans
+
+        with pytest.raises(EncodingError, match="one count per start"):
+            encode_id_spans(np.array([0, 5], np.uint64), np.array([1], np.uint64))
+
+    def test_unsorted_starts_rejected(self):
+        from repro.idlist.codec import encode_id_spans
+
+        with pytest.raises(EncodingError, match="sorted"):
+            encode_id_spans(np.array([5, 0], np.uint64), np.array([1, 1], np.uint64))
+
+    def test_bad_payload_rejected(self):
+        from repro.idlist.codec import decode_id_spans
+
+        with pytest.raises(EncodingError, match="id-span"):
+            decode_id_spans(b"\x40abc")
+
+    @given(spans=st.lists(
+        st.tuples(st.integers(0, 5000), st.integers(0, 10_000)), max_size=40
+    ))
+    @settings(deadline=None, max_examples=50)
+    def test_property_round_trip(self, spans):
+        from repro.idlist.codec import decode_id_spans, encode_id_spans
+
+        gaps = np.array([g for g, _ in spans], dtype=np.uint64)
+        counts = np.array([c for _, c in spans], dtype=np.uint64)
+        starts = np.cumsum(gaps, dtype=np.uint64)
+        out_starts, out_counts = decode_id_spans(encode_id_spans(starts, counts))
+        assert np.array_equal(out_starts, starts)
+        assert np.array_equal(out_counts, counts)

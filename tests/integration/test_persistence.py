@@ -1,0 +1,302 @@
+"""Save / attach round trips through the whole stack.
+
+A table saved with ``EncryptedTable.save`` must re-open in a fresh
+session (same master key, possibly another process or another execution
+backend) and answer queries *identically* to the in-memory path, with
+zero re-encryption -- the paper's upload-once deployment model.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core.persistence import SIDECAR_NAME
+from repro.core.schema import ColumnSpec, TableSchema
+from repro.core.session import SeabedSession
+from repro.crypto.paillier import PaillierKeyPair
+from repro.engine.cluster import ClusterConfig, SimulatedCluster
+from repro.errors import StorageError
+from repro.ops import OPS
+
+BACKENDS = ["serial", "threads", "processes"]
+COUNTRIES = ["us", "ca", "in", "uk"]
+MASTER_KEY = b"integration-master-key-32-bytes!"
+
+GROUPED = "SELECT country, sum(amount), count(*) FROM sales GROUP BY country"
+FLAT = "SELECT sum(amount), min(amount), max(amount) FROM sales WHERE year = 2015"
+# country is SPLASHE-planned under these samples, so the scan projects
+# the ASHE measure and the plain year only.
+SCAN = "SELECT amount, year FROM sales WHERE amount > 900"
+
+SAMPLES = [
+    GROUPED,
+    FLAT,
+    "SELECT min(amount), max(amount) FROM sales",
+]
+
+
+def dataset(n=600, seed=5):
+    rng = np.random.default_rng(seed)
+    data = {
+        "country": rng.choice(COUNTRIES, n),
+        "amount": rng.integers(0, 1000, n),
+        "year": rng.integers(2014, 2017, n),
+    }
+    schema = TableSchema("sales", [
+        ColumnSpec("country", dtype="str", sensitive=True,
+                   distinct_values=COUNTRIES),
+        ColumnSpec("amount", dtype="int", sensitive=True, nbits=32),
+        ColumnSpec("year", dtype="int", sensitive=False),
+    ])
+    return schema, data
+
+
+def build_session(mode="seabed", cluster=None, **kwargs):
+    schema, data = dataset()
+    session = SeabedSession(
+        mode=mode, master_key=MASTER_KEY, cluster=cluster, seed=3, **kwargs
+    )
+    session.create_plan(schema, SAMPLES)
+    session.upload("sales", data, num_partitions=5)
+    return session
+
+
+def rows_of(session, sql, **kwargs):
+    return sorted(map(str, session.query(sql, **kwargs).rows))
+
+
+class TestRoundTrip:
+    def test_identical_results_zero_reencryption(self, tmp_path):
+        writer = build_session()
+        expected_grouped = rows_of(writer, GROUPED, expected_groups=4)
+        expected_flat = rows_of(writer, FLAT)
+        path = writer.save_table("sales", tmp_path / "sales")
+
+        fresh = SeabedSession(mode="seabed", master_key=MASTER_KEY)
+        before = OPS.snapshot()
+        handle = fresh.open_table(path)
+        assert rows_of(fresh, GROUPED, expected_groups=4) == expected_grouped
+        assert rows_of(fresh, FLAT) == expected_flat
+        delta = OPS.delta(before)
+        assert not any(op.startswith("encrypt") for op in delta), delta
+        assert handle.num_rows == 600
+        assert handle.store_path == os.path.abspath(path)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_bit_for_bit_across_backends(self, tmp_path, backend):
+        writer = build_session()
+        expected = {
+            GROUPED: rows_of(writer, GROUPED, expected_groups=4),
+            FLAT: rows_of(writer, FLAT),
+        }
+        expected_scan = sorted(map(str, writer.scan(SCAN).rows))
+        path = writer.save_table("sales", tmp_path / "sales")
+
+        cluster = SimulatedCluster(ClusterConfig(backend=backend, workers=2))
+        fresh = SeabedSession(mode="seabed", master_key=MASTER_KEY, cluster=cluster)
+        fresh.open_table(path)
+        try:
+            for sql, rows in expected.items():
+                groups = 4 if sql is GROUPED else None
+                assert rows_of(fresh, sql, expected_groups=groups) == rows
+            assert sorted(map(str, fresh.scan(SCAN).rows)) == expected_scan
+        finally:
+            cluster.close()
+
+    def test_prepared_queries_on_attached_table(self, tmp_path):
+        writer = build_session()
+        path = writer.save_table("sales", tmp_path / "sales")
+        fresh = SeabedSession(mode="seabed", master_key=MASTER_KEY)
+        fresh.open_table(path)
+        prepared = fresh.prepare(
+            "SELECT sum(amount) FROM sales WHERE year BETWEEN :lo AND :hi"
+        )
+        for lo, hi in [(2014, 2014), (2015, 2016)]:
+            got = prepared.execute(lo=lo, hi=hi).rows
+            want = writer.query(
+                f"SELECT sum(amount) FROM sales WHERE year BETWEEN {lo} AND {hi}"
+            ).rows
+            assert got == want
+
+    def test_incremental_upload_after_attach(self, tmp_path):
+        writer = build_session()
+        path = writer.save_table("sales", tmp_path / "sales")
+        fresh = SeabedSession(mode="seabed", master_key=MASTER_KEY)
+        fresh.open_table(path)
+        _, data = dataset(n=100, seed=11)
+        fresh.upload("sales", data, num_partitions=2)
+        got = fresh.query("SELECT count(*) FROM sales").rows[0]["count(*)"]
+        assert got == 700  # 600 mapped from disk + 100 appended in memory
+
+    def test_resave_after_attach_keeps_prf_backend(self, tmp_path):
+        """A table encrypted under a non-default PRF must keep that PRF
+        through an attach + re-save cycle (the sidecar records the
+        *table's* factory backend, not the session default)."""
+        writer = build_session(prf_backend="blake2")
+        expected = rows_of(writer, FLAT)
+        first = writer.save_table("sales", tmp_path / "first")
+
+        middle = SeabedSession(mode="seabed", master_key=MASTER_KEY)  # splitmix64
+        middle.open_table(first)
+        second = middle.save_table("sales", tmp_path / "second")
+
+        third = SeabedSession(mode="seabed", master_key=MASTER_KEY)
+        third.open_table(second)
+        assert rows_of(third, FLAT) == expected
+
+    def test_attach_keeps_other_tables_translation_cache(self, tmp_path):
+        writer = build_session()
+        sales_path = writer.save_table("sales", tmp_path / "sales")
+
+        helper = SeabedSession(mode="seabed", master_key=MASTER_KEY, seed=3)
+        extras_schema = TableSchema("extras", [
+            ColumnSpec("v", dtype="int", sensitive=True, nbits=16),
+        ])
+        helper.create_plan(extras_schema, ["SELECT sum(v) FROM extras"])
+        helper.upload("extras", {"v": np.arange(50)}, num_partitions=2)
+        extras_path = helper.save_table("extras", tmp_path / "extras")
+
+        fresh = SeabedSession(mode="seabed", master_key=MASTER_KEY)
+        fresh.open_table(sales_path)
+        fresh.query(FLAT)
+        fresh.query(FLAT)
+        hits_before = fresh.cache_stats()["hits"]
+        assert hits_before >= 1
+        # Attaching another store must not evict the hot template.
+        fresh.open_table(extras_path)
+        fresh.query(FLAT)
+        assert fresh.cache_stats()["hits"] == hits_before + 1
+
+    def test_storage_dir_resolution(self, tmp_path):
+        cluster = SimulatedCluster(
+            ClusterConfig(storage_dir=os.fspath(tmp_path / "bucket"))
+        )
+        writer = build_session(cluster=cluster)
+        path = writer.encrypted_table("sales").save()
+        assert path == os.path.abspath(tmp_path / "bucket" / "sales")
+        fresh = SeabedSession(
+            mode="seabed", master_key=MASTER_KEY,
+            cluster=SimulatedCluster(
+                ClusterConfig(storage_dir=os.fspath(tmp_path / "bucket"))
+            ),
+        )
+        handle = fresh.open_table("sales")
+        assert handle.name == "sales"
+
+
+class TestPaillierMode:
+    def test_round_trip_with_shared_keys(self, tmp_path):
+        keys = PaillierKeyPair.generate(bits=256, seed=9)
+        writer = build_session(mode="paillier", paillier_keys=keys)
+        expected = rows_of(writer, "SELECT sum(amount), count(*) FROM sales")
+        path = writer.save_table("sales", tmp_path / "sales")
+
+        fresh = SeabedSession(
+            mode="paillier", master_key=MASTER_KEY, paillier_keys=keys, seed=3
+        )
+        fresh.open_table(path)
+        assert rows_of(fresh, "SELECT sum(amount), count(*) FROM sales") == expected
+
+    def test_different_keys_rejected(self, tmp_path):
+        writer = build_session(
+            mode="paillier", paillier_keys=PaillierKeyPair.generate(bits=256, seed=9)
+        )
+        path = writer.save_table("sales", tmp_path / "sales")
+        other = SeabedSession(
+            mode="paillier", master_key=MASTER_KEY,
+            paillier_keys=PaillierKeyPair.generate(bits=256, seed=10),
+        )
+        with pytest.raises(StorageError, match="Paillier key pair"):
+            other.open_table(path)
+
+
+class TestAttachGuards:
+    def test_wrong_master_key(self, tmp_path):
+        writer = build_session()
+        path = writer.save_table("sales", tmp_path / "sales")
+        other = SeabedSession(
+            mode="seabed", master_key=b"another-master-key-of-32-bytes!!"
+        )
+        with pytest.raises(StorageError, match="key-check"):
+            other.open_table(path)
+
+    def test_mode_mismatch(self, tmp_path):
+        writer = build_session()
+        path = writer.save_table("sales", tmp_path / "sales")
+        plain = SeabedSession(mode="plain", master_key=MASTER_KEY)
+        with pytest.raises(StorageError, match="mode"):
+            plain.open_table(path)
+
+    def test_duplicate_registration(self, tmp_path):
+        writer = build_session()
+        path = writer.save_table("sales", tmp_path / "sales")
+        with pytest.raises(StorageError, match="already registered"):
+            writer.open_table(path)
+
+    def test_missing_sidecar(self, tmp_path):
+        writer = build_session()
+        path = writer.save_table("sales", tmp_path / "sales")
+        os.remove(os.path.join(path, SIDECAR_NAME))
+        fresh = SeabedSession(mode="seabed", master_key=MASTER_KEY)
+        with pytest.raises(StorageError, match="sidecar"):
+            fresh.open_table(path)
+
+    def test_stale_store_row_count(self, tmp_path):
+        writer = build_session()
+        path = writer.save_table("sales", tmp_path / "sales")
+        sidecar = os.path.join(path, SIDECAR_NAME)
+        data = json.load(open(sidecar))
+        data["num_rows"] = 599
+        json.dump(data, open(sidecar, "w"))
+        fresh = SeabedSession(mode="seabed", master_key=MASTER_KEY)
+        with pytest.raises(StorageError, match="stale or corrupt"):
+            fresh.open_table(path)
+
+
+class TestCrossProcess:
+    def test_attach_store_written_by_another_process(self, tmp_path):
+        """A store written by a separate interpreter attaches cleanly."""
+        store_dir = tmp_path / "proc-store"
+        script = f"""
+import numpy as np
+from repro.core.schema import ColumnSpec, TableSchema
+from repro.core.session import SeabedSession
+
+rng = np.random.default_rng(5)
+n = 600
+data = {{
+    "country": rng.choice({COUNTRIES!r}, n),
+    "amount": rng.integers(0, 1000, n),
+    "year": rng.integers(2014, 2017, n),
+}}
+schema = TableSchema("sales", [
+    ColumnSpec("country", dtype="str", sensitive=True,
+               distinct_values={COUNTRIES!r}),
+    ColumnSpec("amount", dtype="int", sensitive=True, nbits=32),
+    ColumnSpec("year", dtype="int", sensitive=False),
+])
+session = SeabedSession(mode="seabed", master_key={MASTER_KEY!r}, seed=3)
+session.create_plan(schema, {SAMPLES!r})
+session.upload("sales", data, num_partitions=5)
+print(session.save_table("sales", {os.fspath(store_dir)!r}))
+"""
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        path = proc.stdout.strip().splitlines()[-1]
+
+        session = SeabedSession(mode="seabed", master_key=MASTER_KEY)
+        session.open_table(path)
+        local = build_session()
+        assert rows_of(session, GROUPED, expected_groups=4) == rows_of(
+            local, GROUPED, expected_groups=4
+        )

@@ -6,12 +6,10 @@ from repro.query.ast import (
     Aggregate,
     And,
     Between,
-    ColumnRef,
     Comparison,
     InList,
     Not,
     Or,
-    Query,
     predicate_columns,
     predicate_usage,
 )

@@ -1,6 +1,5 @@
 """Tests for the benchmark-harness support (repro.bench)."""
 
-import os
 
 import pytest
 

@@ -96,7 +96,8 @@ class TestAdAnalytics:
         return adanalytics.generate(rows=2000, seed=0)
 
     def test_schema_has_paper_shape(self, data):
-        dims = [c for c in data.schema.columns if c.name.endswith(tuple("0123456789")) and "dim" in c.name]
+        dims = [c for c in data.schema.columns
+                if c.name.endswith(tuple("0123456789")) and "dim" in c.name]
         # 33 dimensions = hour + 10 sensitive + 22 public
         assert len(dims) + 1 == 33
         measures = [c for c in data.schema.columns if c.name.startswith("measure")]
