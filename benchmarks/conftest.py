@@ -32,6 +32,7 @@ SCALES = {
         "table5_rows": 10_000,
         "paillier_bits": 512,
         "store_rows": 200_000,
+        "ingest_rows": 100_000,
     },
     "small": {
         "fig6_rows": [50_000, 100_000, 200_000, 400_000],
@@ -45,6 +46,7 @@ SCALES = {
         "table5_rows": 30_000,
         "paillier_bits": 1024,
         "store_rows": 400_000,
+        "ingest_rows": 400_000,
     },
     "medium": {
         "fig6_rows": [250_000, 500_000, 1_000_000, 2_000_000],
@@ -58,6 +60,7 @@ SCALES = {
         "table5_rows": 100_000,
         "paillier_bits": 1024,
         "store_rows": 2_000_000,
+        "ingest_rows": 2_000_000,
     },
     "large": {
         "fig6_rows": [1_000_000, 2_000_000, 4_000_000, 8_000_000],
@@ -71,6 +74,7 @@ SCALES = {
         "table5_rows": 300_000,
         "paillier_bits": 1024,
         "store_rows": 8_000_000,
+        "ingest_rows": 8_000_000,
     },
 }
 

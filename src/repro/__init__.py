@@ -28,6 +28,7 @@ Public entry points:
 __version__ = "0.1.0"
 
 __all__ = [
+    "AppendStats",
     "ColumnSpec",
     "EncryptedTable",
     "Param",
@@ -41,6 +42,7 @@ __all__ = [
 ]
 
 _LAZY = {
+    "AppendStats": ("repro.core.session", "AppendStats"),
     "SeabedClient": ("repro.core.proxy", "SeabedClient"),
     "SeabedSession": ("repro.core.session", "SeabedSession"),
     "EncryptedTable": ("repro.core.session", "EncryptedTable"),

@@ -77,8 +77,10 @@ class EncryptionModule:
         start_id = state.next_row_id
         physical: dict[str, np.ndarray] = {}
         # Counted so persistence tests can *prove* that attaching a stored
-        # table performs zero re-encryption (the upload-once model).
+        # table performs zero re-encryption (the upload-once model) and so
+        # the ingest benchmark can prove an append encrypts only its batch.
         OPS.bump("encrypt_batch")
+        OPS.bump("encrypt_rows", nrows)
         for name, plan in state.enc_schema.plans.items():
             OPS.bump("encrypt_column")
             self._encrypt_column(state, plan, arrays[name], arrays, start_id, physical)

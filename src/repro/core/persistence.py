@@ -28,6 +28,7 @@ from repro.core import schema as sc
 from repro.core.encryptor import ClientTableState
 from repro.crypto.det import DictionaryEncoder
 from repro.crypto.keys import KeyChain
+from repro.engine.storage import atomic_write_json
 from repro.errors import StorageError
 
 SIDECAR_NAME = "client_state.json"
@@ -262,13 +263,18 @@ def write_sidecar(
     keychain: KeyChain,
     paillier_n: int | None = None,
 ) -> str:
+    """Atomically (re)write the client-state sidecar.
+
+    This is the *commit record* of incremental ingestion: an appended
+    generation counts as durable only once the sidecar's row watermark
+    (``num_rows`` / ``next_row_id``, plus any dictionary growth) lands
+    here -- hence the durable publish primitive shared with the store
+    manifest.
+    """
     target = os.path.join(store_path, SIDECAR_NAME)
-    tmp = target + ".tmp"
-    payload = state_to_dict(state, mode, prf_backend, keychain, paillier_n)
-    with open(tmp, "w") as fh:
-        json.dump(payload, fh, indent=1, sort_keys=True)
-        fh.write("\n")
-    os.replace(tmp, target)
+    atomic_write_json(
+        target, state_to_dict(state, mode, prf_backend, keychain, paillier_n)
+    )
     return target
 
 

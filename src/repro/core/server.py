@@ -436,6 +436,10 @@ class SeabedServer:
         except KeyError:
             raise ExecutionError(f"no table {name!r} registered on the server") from None
 
+    def get(self, name: str) -> Table | None:
+        """The registered table, or ``None`` when nothing was uploaded yet."""
+        return self._tables.get(name)
+
     def storage_bytes(self, name: str) -> int:
         return self.table(name).memory_bytes()
 

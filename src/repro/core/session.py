@@ -57,7 +57,16 @@ from repro.crypto.keys import KeyChain
 from repro.crypto.paillier import PaillierKeyPair, PaillierScheme
 from repro.engine.cluster import SimulatedCluster
 from repro.engine.metrics import JobMetrics
-from repro.engine.store import open_store, write_store
+from repro.engine.store import (
+    append_store,
+    compact_store,
+    open_store,
+    snapshot_generation,
+    store_generations,
+    store_num_rows,
+    truncate_store,
+    write_store,
+)
 from repro.errors import PlanningError, StorageError, TranslationError
 from repro.ops import OPS
 from repro.query.ast import (
@@ -112,6 +121,18 @@ class UploadStats:
     table: str
     rows: int
     encrypt_seconds: float
+    physical_columns: int
+
+
+@dataclass
+class AppendStats:
+    """Outcome of one incremental append to a persisted table."""
+
+    table: str
+    rows: int
+    generation: int
+    encrypt_seconds: float
+    write_seconds: float
     physical_columns: int
 
 
@@ -379,31 +400,38 @@ class EncryptedTable:
         session = self._session
         state = session.table_state(self.name)
         resolved = session.cluster.config.resolve_store_path(path or self.name)
-        column_meta = {
-            physical: plan.kind
-            for plan in state.enc_schema.plans.values()
-            for physical in plan.physical_columns()
-        }
         write_store(
             session.server.table(self.name),
             resolved,
-            column_meta=column_meta,
+            column_meta=session._column_meta(state),
             overwrite=overwrite,
         )
-        ps.write_sidecar(
-            resolved,
-            state,
-            mode=session.mode,
-            # The *table's* factory backend, not the session default: a
-            # table attached from a store keeps the PRF it was encrypted
-            # with, and a re-save must persist that same backend.
-            prf_backend=session._factories[self.name].prf_backend,
-            keychain=session._keychain,
-            paillier_n=(
-                session._paillier.n if session._paillier is not None else None
-            ),
-        )
+        session._write_sidecar(resolved, state, self.name)
+        # The session's server-side table becomes the store-backed view:
+        # columns memory-map from the files just written, and incremental
+        # ingestion (append / compact) can target the store directly.
+        session.server.register(open_store(resolved))
         return os.path.abspath(resolved)
+
+    def append(
+        self, columns: Mapping[str, Any], num_partitions: int | None = None
+    ) -> AppendStats:
+        """Encrypt one plaintext batch and append it to this table's
+        store as a new generation; see :meth:`SeabedSession.append_rows`."""
+        return self._session.append_rows(
+            self.name, columns, num_partitions=num_partitions
+        )
+
+    def compact(self, target_rows: int | None = None) -> dict | None:
+        """Merge small append generations back into full-size partitions;
+        see :meth:`SeabedSession.compact_table`."""
+        return self._session.compact_table(self.name, target_rows=target_rows)
+
+    @property
+    def generations(self) -> list[dict]:
+        """The store's generation log (empty for in-memory tables)."""
+        path = self.store_path
+        return store_generations(path) if path is not None else []
 
     def builder(self) -> QueryBuilder:
         """A fluent query builder bound to this table."""
@@ -537,15 +565,34 @@ class SeabedSession:
         self,
         table: str,
         columns: Mapping[str, Any],
-        num_partitions: int = 8,
+        num_partitions: int | None = None,
     ) -> UploadStats:
+        """Encrypt one plaintext batch and hand it to the server.
+
+        On an in-memory table the batch is appended to the server-side
+        partitions directly.  Once the table is **store-backed** (saved
+        or attached), the batch routes through :meth:`append_rows`
+        instead, so it lands durably in the partition store -- appending
+        to only the in-memory view would silently diverge from what a
+        fresh attach sees.  ``num_partitions`` defaults to 8 in memory
+        and to config-driven batch slicing for store appends.
+        """
         state = self._state(table)
+        registered = self.server.get(table)
+        if registered is not None and registered.store_path is not None:
+            stats = self.append_rows(table, columns, num_partitions=num_partitions)
+            return UploadStats(
+                table=table,
+                rows=stats.rows,
+                encrypt_seconds=stats.encrypt_seconds,
+                physical_columns=stats.physical_columns,
+            )
         encryptor = EncryptionModule(
             self._factories[table], paillier=self._paillier, seed=self._seed
         )
         t0 = time.perf_counter()
         encrypted = encryptor.encrypt_batch(
-            state, columns, num_partitions=num_partitions
+            state, columns, num_partitions=num_partitions or 8
         )
         elapsed = time.perf_counter() - t0
         self.server.append(encrypted)
@@ -555,6 +602,126 @@ class SeabedSession:
             encrypt_seconds=elapsed,
             physical_columns=len(encrypted.column_names),
         )
+
+    # -- incremental ingestion -------------------------------------------------------
+
+    def append_rows(
+        self,
+        table: str,
+        columns: Mapping[str, Any],
+        num_partitions: int | None = None,
+    ) -> AppendStats:
+        """Encrypt one plaintext batch and append it to ``table``'s
+        partition store as a new *generation*.
+
+        This is the streaming half of the paper's ingestion story
+        (Section 3.1: symmetric ASHE exists so continuously arriving
+        ad-analytics data stays affordable to encrypt): only the batch is
+        encrypted -- ASHE row IDs continue from the table's high-water
+        mark so pads keep telescoping, and DET/ORE/SPLASHE columns reuse
+        the existing plans and dictionaries.  The batch lands as a new
+        generation of partition files published atomically; concurrent
+        readers on any backend keep seeing their own snapshot.  The
+        append *commits* when the client-state sidecar's row watermark is
+        rewritten -- a writer killed anywhere in between is rolled back
+        by the next append (or ignored by the next attach).
+
+        ``num_partitions`` defaults to slicing the batch into partitions
+        of ``cluster.config.append_partition_rows`` rows.
+        """
+        state = self._state(table)
+        store_path = self.server.table(table).store_path
+        if store_path is None:
+            raise StorageError(
+                f"table {table!r} is not store-backed; use upload() for "
+                "in-memory tables, or save_table() first"
+            )
+        self._reconcile_store(store_path, state)
+        arrays = {name: np.asarray(col) for name, col in columns.items()}
+        nrows = len(next(iter(arrays.values()))) if arrays else 0
+        if nrows == 0:
+            raise StorageError("append batch is empty")
+        if num_partitions is None:
+            target = max(1, self.cluster.config.append_partition_rows)
+            num_partitions = -(-nrows // target)
+        encryptor = EncryptionModule(
+            self._factories[table], paillier=self._paillier, seed=self._seed
+        )
+        rollback = (state.next_row_id, state.num_rows)
+        t0 = time.perf_counter()
+        try:
+            encrypted = encryptor.encrypt_batch(
+                state, arrays, num_partitions=num_partitions
+            )
+            encrypt_seconds = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            generation = append_store(
+                encrypted, store_path, column_meta=self._column_meta(state)
+            )
+            # Commit point: the sidecar's row watermark acknowledges the
+            # generation published above.
+            self._write_sidecar(store_path, state, table)
+        except Exception:
+            state.next_row_id, state.num_rows = rollback
+            raise
+        write_seconds = time.perf_counter() - t0
+        self.server.register(open_store(store_path))
+        return AppendStats(
+            table=table,
+            rows=nrows,
+            generation=generation,
+            encrypt_seconds=encrypt_seconds,
+            write_seconds=write_seconds,
+            physical_columns=len(encrypted.column_names),
+        )
+
+    def compact_table(self, table: str, target_rows: int | None = None) -> dict | None:
+        """Merge runs of small append generations into full-size
+        partitions (scan parallelism maintenance under streaming
+        ingestion).  ``target_rows`` defaults to the store's own largest
+        mean partition size.  Returns the compaction stats dict, or
+        ``None`` when the store was already healthy."""
+        state = self._state(table)
+        store_path = self.server.table(table).store_path
+        if store_path is None:
+            raise StorageError(
+                f"table {table!r} is not store-backed; there is nothing to compact"
+            )
+        self._reconcile_store(store_path, state)
+        stats = compact_store(store_path, target_rows=target_rows)
+        if stats is not None:
+            self.server.register(open_store(store_path))
+        return stats
+
+    def _reconcile_store(self, store_path: str, state: ClientTableState) -> None:
+        """Roll back store generations the sidecar never acknowledged
+        (a previous writer died between manifest publish and sidecar
+        commit); refuse stores that are behind the client state.
+
+        The *on-disk* sidecar is the commit record -- never this
+        session's in-memory watermark, which may simply be stale because
+        another session appended since we attached.  Rolling back against
+        the in-memory view would silently destroy that writer's
+        committed generations; instead the stale session gets a clear
+        error and must re-open the table.
+        """
+        committed = ps.read_sidecar(store_path)[0].num_rows
+        if committed != state.num_rows:
+            raise StorageError(
+                f"the store at {store_path!r} has {committed} committed rows "
+                f"but this session attached at {state.num_rows}; another "
+                "writer advanced (or rewrote) the store -- re-open the table "
+                "in a fresh session before appending"
+            )
+        on_disk = store_num_rows(store_path)
+        if on_disk == committed:
+            return
+        if on_disk < committed:
+            raise StorageError(
+                f"store at {store_path!r} holds {on_disk} rows but its "
+                f"sidecar committed {committed}; the store is stale or corrupt"
+            )
+        truncate_store(store_path, committed)
 
     # -- persistence ----------------------------------------------------------------
 
@@ -613,10 +780,17 @@ class SeabedSession:
                 f"describes {name!r}"
             )
         if table.num_rows != state.num_rows:
-            raise StorageError(
-                f"store holds {table.num_rows} rows but the client state "
-                f"recorded {state.num_rows}; the store is stale or corrupt"
-            )
+            # A writer may have died between publishing an append
+            # generation and committing the sidecar watermark: attach at
+            # the committed snapshot instead (the next append rolls the
+            # uncommitted tail back).
+            snap = snapshot_generation(resolved, state.num_rows)
+            if snap is None:
+                raise StorageError(
+                    f"store holds {table.num_rows} rows but the client state "
+                    f"recorded {state.num_rows}; the store is stale or corrupt"
+                )
+            table = open_store(resolved, generation=snap)
         self._states[name] = state
         self._factories[name] = CryptoFactory(
             self._keychain, name, prf_backend=attach["prf_backend"]
@@ -906,6 +1080,32 @@ class SeabedSession:
         )
 
     # -- internals ---------------------------------------------------------------
+
+    @staticmethod
+    def _column_meta(state: ClientTableState) -> dict[str, str]:
+        """Physical column -> encryption class, recorded in store manifests."""
+        return {
+            physical: plan.kind
+            for plan in state.enc_schema.plans.values()
+            for physical in plan.physical_columns()
+        }
+
+    def _write_sidecar(
+        self, store_path: str, state: ClientTableState, table: str
+    ) -> None:
+        ps.write_sidecar(
+            store_path,
+            state,
+            mode=self.mode,
+            # The *table's* factory backend, not the session default: a
+            # table attached from a store keeps the PRF it was encrypted
+            # with, and a re-save must persist that same backend.
+            prf_backend=self._factories[table].prf_backend,
+            keychain=self._keychain,
+            paillier_n=(
+                self._paillier.n if self._paillier is not None else None
+            ),
+        )
 
     def _as_query(self, query: str | Query | QueryBuilder) -> Query:
         if isinstance(query, str):

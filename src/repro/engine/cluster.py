@@ -60,6 +60,13 @@ class ClusterConfig:
     open_table`` resolve under it (the "cloud bucket" the paper uploads
     encrypted datasets into once and attaches to repeatedly).
 
+    ``append_partition_rows`` is how incoming batches are routed into
+    partitions: ``SeabedSession.append_rows`` slices each streamed batch
+    into partitions of roughly this many rows (one partition for smaller
+    batches); store compaction then merges runs of small append
+    generations back into full-size partitions (sized, by default, like
+    the store's own largest generation).
+
     The choice of backend changes only *real* wall-clock (reported per
     stage as ``StageMetrics.wall_time`` and per job as
     ``JobMetrics.real_time``); the *simulated* makespan is still computed
@@ -80,6 +87,7 @@ class ClusterConfig:
     backend: str = "serial"  # "serial" | "threads" | "processes"
     workers: int = 0  # pool width; 0 -> one worker per host CPU
     storage_dir: str | None = None  # root for persistent partition stores
+    append_partition_rows: int = 65_536  # target rows per appended partition
 
     def with_cores(self, cores: int) -> "ClusterConfig":
         return replace(self, cores=cores)

@@ -21,6 +21,8 @@ big-ints, for Paillier ciphertext columns), 4=bool.
 from __future__ import annotations
 
 import io
+import json
+import os
 import struct
 import zlib
 
@@ -31,6 +33,30 @@ from repro.errors import ExecutionError
 
 _MAGIC = b"SBED"
 _VERSION = 1
+
+
+def fsync_dir(path: str) -> None:
+    """fsync a directory so renames/creates inside it are durable."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write_json(target: str, payload: dict) -> None:
+    """Durably publish a JSON document: temp file + fsync + ``os.replace``
+    + directory fsync.  Readers see the old document or the new one in
+    full, never a partial write -- this is the commit primitive both the
+    partition-store manifest and the client-state sidecar rely on."""
+    tmp = target + ".tmp"
+    with open(tmp, "w") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, target)
+    fsync_dir(os.path.dirname(target) or ".")
 
 _DTYPE_TAGS: dict[str, int] = {"int64": 0, "uint64": 1, "float64": 2, "object": 3, "bool": 4}
 _TAG_DTYPES = {v: k for k, v in _DTYPE_TAGS.items()}

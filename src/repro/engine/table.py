@@ -62,7 +62,10 @@ class Table:
     """A named, partitioned, columnar dataset.
 
     ``store_path`` names the persistent store the partitions were
-    memory-mapped from (None for purely in-memory tables).
+    memory-mapped from (None for purely in-memory tables) and
+    ``store_generation`` the store's generation counter at the moment
+    the table was opened -- the snapshot every partition ref of this
+    table resolves against, no matter how far the store advances.
     """
 
     def __init__(
@@ -70,10 +73,12 @@ class Table:
         name: str,
         partitions: list[Partition],
         store_path: str | None = None,
+        store_generation: int | None = None,
     ):
         self.name = name
         self.partitions = partitions
         self.store_path = store_path
+        self.store_generation = store_generation
         self._validate()
 
     def _validate(self) -> None:
@@ -140,6 +145,13 @@ class Table:
     @property
     def base_id(self) -> int:
         return self.partitions[0].start_id if self.partitions else 0
+
+    @property
+    def end_id(self) -> int:
+        """One past the last row ID: the high-water mark appends continue
+        from (partition intervals tile the ID space without gaps)."""
+        last = self.partitions[-1] if self.partitions else None
+        return last.start_id + last.nrows if last is not None else 0
 
     def column(self, name: str) -> np.ndarray:
         """Concatenate one column across partitions (test/debug helper)."""

@@ -218,6 +218,60 @@ def decode_id_spans(data: bytes) -> tuple[np.ndarray, np.ndarray]:
     return starts, seq[1::2].copy()
 
 
+_FLAG_GROUPED = 0x80
+
+
+def encode_span_groups(groups: list[list[tuple[int, int]]]) -> bytes:
+    """Encode per-partition *groups* of (start, count) row-ID spans.
+
+    A freshly written partition covers one contiguous ID interval, but a
+    partition produced by store compaction absorbs rows from several
+    source partitions, so its manifest entry records multiple spans --
+    one group of (start, count) pairs per output partition.  The
+    serialisation reuses the ID-span machinery: each group contributes
+    its span count followed by its spans, with starts diff-encoded
+    across the *whole* stream (groups tile the table's ID space in
+    order, so starts are globally sorted) and the sequence
+    variable-byte packed under a self-describing flag byte.
+    """
+    seq: list[int] = []
+    prev = 0
+    for group in groups:
+        if not group:
+            raise EncodingError("span groups must hold at least one span each")
+        seq.append(len(group))
+        for start, count in group:
+            if start < prev:
+                raise EncodingError("span-group starts must be globally sorted")
+            seq.append(start - prev)
+            seq.append(count)
+            prev = start
+    flags = _FLAG_GROUPED | _FLAG_RANGES | _FLAG_DIFF
+    return bytes([flags]) + varbyte.encode(np.asarray(seq, dtype=np.uint64))
+
+
+def decode_span_groups(data: bytes) -> list[list[tuple[int, int]]]:
+    """Decode :func:`encode_span_groups` output back to span groups."""
+    if not data or data[0] != (_FLAG_GROUPED | _FLAG_RANGES | _FLAG_DIFF):
+        raise EncodingError("not a span-group codec payload")
+    seq = varbyte.decode(data[1:]).tolist()
+    groups: list[list[tuple[int, int]]] = []
+    pos = 0
+    prev = 0
+    while pos < len(seq):
+        size = seq[pos]
+        pos += 1
+        if size == 0 or pos + 2 * size > len(seq):
+            raise EncodingError("truncated span-group payload")
+        group: list[tuple[int, int]] = []
+        for _ in range(size):
+            prev += seq[pos]
+            group.append((prev, seq[pos + 1]))
+            pos += 2
+        groups.append(group)
+    return groups
+
+
 def decode_multiset(data: bytes) -> np.ndarray:
     """Decode a multiset payload back to the sorted uint64 ID array."""
     if not data or not data[0] & _FLAG_MULTISET:

@@ -20,6 +20,7 @@ synthetically from the published shape:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
@@ -113,6 +114,29 @@ def generate(rows: int = 20_000, seed: int = 0) -> AdAnalyticsDataset:
         sensitive_dims=sensitive_dims,
         measures=measures,
     )
+
+
+def stream_batches(
+    dataset: AdAnalyticsDataset, num_batches: int
+) -> Iterator[dict[str, np.ndarray]]:
+    """Replay the dataset as *arriving* traffic: consecutive row batches.
+
+    The paper's flagship workload is continuous ad-analytics ingestion
+    (Section 3.1 motivates ASHE with exactly this write rate); this
+    slices the generated table into ``num_batches`` consecutive batches
+    so the upload can be driven as a stream -- first batch through
+    ``SeabedSession.upload``, the rest through ``append_rows`` (see
+    :func:`repro.workloads.persist.ingest_stream`).
+    """
+    if num_batches < 1:
+        raise SeabedError("num_batches must be positive")
+    nrows = len(next(iter(dataset.columns.values())))
+    bounds = np.linspace(0, nrows, num_batches + 1).astype(np.int64)
+    for i in range(num_batches):
+        lo, hi = int(bounds[i]), int(bounds[i + 1])
+        if lo == hi:
+            continue
+        yield {name: arr[lo:hi] for name, arr in dataset.columns.items()}
 
 
 def sample_queries(dataset: AdAnalyticsDataset) -> list[str]:

@@ -12,12 +12,12 @@ uploaded once keeps serving analytics jobs from disk.
 from __future__ import annotations
 
 import os
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
 from repro.ops import OPS
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.core.session import EncryptedTable, SeabedSession
+    from repro.core.session import AppendStats, EncryptedTable, SeabedSession
 
 
 def persist_round_trip(
@@ -54,3 +54,27 @@ def persist_round_trip(
             f"attaching a stored table re-encrypted data: {encrypt_ops}"
         )
     return fresh, handle
+
+
+def ingest_stream(
+    session: "SeabedSession",
+    table: str,
+    batches: Iterable[Mapping[str, Any]],
+    compact_every: int | None = None,
+) -> list["AppendStats"]:
+    """Drive a batch stream through incremental ingestion.
+
+    Appends every batch to ``table``'s partition store (the table must
+    already be persisted -- see ``EncryptedTable.save``), compacting
+    after every ``compact_every`` appends so a long drip of small
+    batches does not erode scan parallelism.  Used with
+    :func:`repro.workloads.adanalytics.stream_batches` this replays the
+    paper's flagship workload as arriving traffic.  Returns the per-batch
+    :class:`~repro.core.session.AppendStats`.
+    """
+    stats = []
+    for i, batch in enumerate(batches):
+        stats.append(session.append_rows(table, batch))
+        if compact_every and (i + 1) % compact_every == 0:
+            session.compact_table(table)
+    return stats

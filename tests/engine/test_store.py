@@ -78,7 +78,11 @@ class TestRoundTrip:
         path = write_store(build_table(), tmp_path / "mixed")
         reopened = open_store(path)
         for index, part in enumerate(reopened.partitions):
-            assert part.ref == PartitionRef(os.path.abspath(path), index)
+            ref = part.ref
+            assert (ref.path, ref.index, ref.generation) == (
+                os.path.abspath(path), index, 1,
+            )
+            assert ref.store_id  # minted by write_store
 
     def test_column_meta_recorded(self, tmp_path):
         path = write_store(
@@ -166,7 +170,9 @@ class TestDispatch:
         path = write_store(build_table(), tmp_path / "s")
         stored = open_store(path)
         ref = dispatch_payload(stored.partitions[1])
-        assert ref == PartitionRef(os.path.abspath(path), 1)
+        assert (ref.path, ref.index, ref.generation) == (
+            os.path.abspath(path), 1, 1,
+        )
         inmem = build_table().partitions[0]
         assert dispatch_payload(inmem) is inmem
 

@@ -1,0 +1,91 @@
+"""The span-group codec: multi-span row-ID ranges per partition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.idlist.codec import (
+    decode_id_spans,
+    decode_span_groups,
+    encode_id_spans,
+    encode_span_groups,
+)
+
+
+def test_round_trip_single_span_groups():
+    groups = [[(0, 10)], [(10, 5)], [(15, 100)]]
+    assert decode_span_groups(encode_span_groups(groups)) == groups
+
+
+def test_round_trip_multi_span_groups():
+    # A compacted partition absorbing three source partitions' spans.
+    groups = [[(0, 4), (4, 4), (8, 2)], [(10, 6), (16, 1)]]
+    assert decode_span_groups(encode_span_groups(groups)) == groups
+
+
+def test_gaps_between_spans_allowed():
+    groups = [[(5, 2)], [(100, 3), (2000, 1)]]
+    assert decode_span_groups(encode_span_groups(groups)) == groups
+
+
+def test_empty_group_list():
+    assert decode_span_groups(encode_span_groups([])) == []
+
+
+def test_empty_group_rejected():
+    with pytest.raises(EncodingError, match="at least one span"):
+        encode_span_groups([[(0, 4)], []])
+
+
+def test_unsorted_starts_rejected():
+    with pytest.raises(EncodingError, match="sorted"):
+        encode_span_groups([[(10, 4)], [(0, 4)]])
+
+
+def test_wrong_payload_rejected():
+    with pytest.raises(EncodingError, match="span-group"):
+        decode_span_groups(encode_id_spans(
+            np.asarray([0], dtype=np.uint64), np.asarray([4], dtype=np.uint64)
+        ))
+    with pytest.raises(EncodingError, match="span-group"):
+        decode_span_groups(b"")
+
+
+def test_truncated_payload_rejected():
+    payload = encode_span_groups([[(0, 4), (4, 4)]])
+    with pytest.raises(EncodingError, match="truncated"):
+        decode_span_groups(payload[:-1])
+
+
+def test_header_distinct_from_id_span_codec():
+    spans = encode_id_spans(
+        np.asarray([0, 8], dtype=np.uint64), np.asarray([8, 8], dtype=np.uint64)
+    )
+    grouped = encode_span_groups([[(0, 8)], [(8, 8)]])
+    assert spans[0] != grouped[0]
+    # and the plain span codec refuses the grouped payload
+    with pytest.raises(EncodingError):
+        decode_id_spans(grouped)
+
+
+@given(
+    st.lists(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1 << 20),
+                st.integers(min_value=0, max_value=1 << 16),
+            ),
+            min_size=1, max_size=4,
+        ),
+        min_size=0, max_size=8,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_property_round_trip(raw):
+    # Make starts globally sorted (the tiling invariant the codec checks).
+    flat = sorted(start for group in raw for start, _ in group)
+    it = iter(flat)
+    groups = [[(next(it), count) for _, count in group] for group in raw]
+    assert decode_span_groups(encode_span_groups(groups)) == groups

@@ -125,6 +125,24 @@ class TestAdAnalytics:
         assert len(queries) == 15
         assert sorted({q.num_groups for q in queries}) == [1, 4, 8]
 
+    def test_stream_batches_partitions_the_rows(self, data):
+        batches = list(adanalytics.stream_batches(data, 5))
+        assert len(batches) == 5
+        for name, arr in data.columns.items():
+            rebuilt = np.concatenate([b[name] for b in batches])
+            assert np.array_equal(rebuilt, arr), name
+
+    def test_stream_batches_skips_empty_slices(self, data):
+        # more batches than rows still yields only non-empty batches
+        small = adanalytics.generate(rows=3, seed=1)
+        batches = list(adanalytics.stream_batches(small, 8))
+        assert sum(len(b["hour"]) for b in batches) == 3
+        assert all(len(b["hour"]) > 0 for b in batches)
+
+    def test_stream_batches_validates_count(self, data):
+        with pytest.raises(SeabedError):
+            list(adanalytics.stream_batches(data, 0))
+
 
 class TestCatalogs:
     def test_mdx_matches_paper(self):
