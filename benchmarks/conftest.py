@@ -33,6 +33,7 @@ SCALES = {
         "paillier_bits": 512,
         "store_rows": 200_000,
         "ingest_rows": 100_000,
+        "pruning_rows": 400_000,
     },
     "small": {
         "fig6_rows": [50_000, 100_000, 200_000, 400_000],
@@ -47,6 +48,7 @@ SCALES = {
         "paillier_bits": 1024,
         "store_rows": 400_000,
         "ingest_rows": 400_000,
+        "pruning_rows": 1_000_000,
     },
     "medium": {
         "fig6_rows": [250_000, 500_000, 1_000_000, 2_000_000],
@@ -61,6 +63,7 @@ SCALES = {
         "paillier_bits": 1024,
         "store_rows": 2_000_000,
         "ingest_rows": 2_000_000,
+        "pruning_rows": 4_000_000,
     },
     "large": {
         "fig6_rows": [1_000_000, 2_000_000, 4_000_000, 8_000_000],
@@ -75,6 +78,7 @@ SCALES = {
         "paillier_bits": 1024,
         "store_rows": 8_000_000,
         "ingest_rows": 8_000_000,
+        "pruning_rows": 8_000_000,
     },
 }
 

@@ -22,6 +22,12 @@ stream fresh batches in with ``append_rows`` (each encrypts only its
 batch and lands as a new store *generation*), inspect the generation
 log, and ``compact`` the small generations back into full-size
 partitions.  Implies a temporary store when ``--persist`` is not given.
+
+With ``--pruned`` it demos the zone-map index: time-clustered batches
+are appended (each covering a disjoint ``amount`` range, the way
+arriving traffic clusters by time), and a selective range query is run
+with and without pruning -- identical answers, most partitions never
+dispatched.  Also implies a temporary store when needed.
 """
 
 import argparse
@@ -41,6 +47,10 @@ parser.add_argument(
 parser.add_argument(
     "--append", action="store_true",
     help="demo incremental ingestion (append batches, generations, compaction)",
+)
+parser.add_argument(
+    "--pruned", action="store_true",
+    help="demo zone-map partition pruning on a selective range query",
 )
 args = parser.parse_args()
 
@@ -124,7 +134,7 @@ print(f"   [ops during 3 executes: translate={delta.get('translate', 0)} "
 print(f"\ntranslation cache: {session.cache_stats()}")
 
 # -- 5. optional persistence round trip (--persist DIR) ------------------------------
-if args.persist or args.append:
+if args.persist or args.append or args.pruned:
     from repro.workloads.persist import persist_round_trip
 
     store_root = args.persist or tempfile.mkdtemp(prefix="seabed-quickstart-")
@@ -170,3 +180,35 @@ if args.append:
     total = fresh.query("SELECT count(*) FROM sales").rows[0]["count(*)"]
     print(f"   rows after ingestion: {total:,} (expected {N + 6_000:,})")
     assert total == N + 6_000, "ingestion lost or duplicated rows"
+
+# -- 7. optional zone-map pruning demo (--pruned) -------------------------------------
+if args.pruned:
+    # Arriving traffic is time-clustered, so appended generations cover
+    # narrow value ranges.  The zone-map index (built from ciphertexts
+    # only: ORE min/max, DET token digests) lets the server skip whole
+    # partitions a selective predicate provably cannot match.
+    print("\nzone-map pruning: 3 time-clustered batches, then a range query")
+    for i in range(3):
+        lo = 20_000 + 10_000 * i
+        fresh.append_rows("sales", {
+            "country": rng.choice(COUNTRIES, 2_000),
+            "amount": rng.integers(lo, lo + 5_000, 2_000),
+            "year": np.full(2_000, 2017 + i),
+        })
+    index = fresh.stats("sales")
+    print(f"   index: {index['partitions_with_stats']}/{index['partitions']} "
+          f"partitions covered, columns "
+          f"{sorted(index['columns'])}")
+
+    sql = "SELECT sum(amount), count(*) FROM sales WHERE amount BETWEEN :lo AND :hi"
+    pruned = fresh.query(sql, lo=30_000, hi=34_999)
+    skipped = sum(m.partitions_skipped for m in pruned.request_metrics)
+    total_parts = sum(m.partitions_total for m in pruned.request_metrics)
+    fresh.server.pruning = False
+    full = fresh.query(sql, lo=30_000, hi=34_999)
+    fresh.server.pruning = True
+    print(f"   WHERE amount IN [30000, 35000): {pruned.rows[0]}")
+    print(f"   pruned run skipped {skipped}/{total_parts} partitions; "
+          f"full scan answered identically = {pruned.rows == full.rows}")
+    assert pruned.rows == full.rows, "pruning changed the answer"
+    assert skipped > 0, "the selective range query should skip partitions"

@@ -17,6 +17,16 @@ Two matchers are provided:
 
 The result reports the fraction of *values* recovered and the fraction of
 *rows* exposed, which the SPLASHE tests drive to chance level.
+
+:func:`audit_zone_maps` extends the adversarial toolkit to the zone-map
+index (:mod:`repro.index`): it verifies that every published index
+artifact is **exactly recomputable by a keyless server from the
+ciphertext columns it already stores** -- token sets contain only
+already-visible DET tokens, bloom bits are the deterministic digest of
+those tokens, ORE bounds are member rows found with the public Compare,
+and no artifact exists for a semantically secure (ASHE/Paillier)
+column.  Anything that fails recomputation must have been derived from
+plaintext knowledge and is reported as a leakage violation.
 """
 
 from __future__ import annotations
@@ -116,6 +126,124 @@ def _optimal_assignment(
     cost = np.abs(obs_freq[:, None] - aux_freq[None, :])
     rows, cols = linear_sum_assignment(cost)
     return {observed[r][0]: aux[c][0] for r, c in zip(rows, cols)}
+
+
+#: Encryption schemes whose ciphertexts are semantically secure: *no*
+#: zone-map artifact may discriminate on them -- any statistic that did
+#: would necessarily come from plaintext knowledge.
+_SEMANTIC_SCHEMES = ("ashe", "paillier")
+
+
+@dataclass
+class ZoneMapAuditResult:
+    """Outcome of auditing a table's zone maps against its ciphertexts."""
+
+    partitions_checked: int
+    artifacts_checked: int
+    violations: list[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        state = "ok" if self.ok else f"{len(self.violations)} violation(s)"
+        return (
+            f"zone-map audit: {self.artifacts_checked} artifacts over "
+            f"{self.partitions_checked} partitions -- {state}"
+        )
+
+
+def _audit_spec(name: str, arr: np.ndarray, enc: str | None) -> dict:
+    """The store's manifest column spec for ``arr`` (shared derivation:
+    the audit must see exactly what the stats builder saw at write time),
+    tolerating non-storable columns on ad-hoc in-memory tables."""
+    from repro.engine.store import _column_spec
+
+    try:
+        spec = _column_spec(name, arr)
+    except SeabedError:
+        spec = {"dtype": None, "ndim": int(arr.ndim), "width": 1}
+    if enc is not None:
+        spec["enc"] = enc
+    return spec
+
+
+def audit_zone_maps(
+    table: Any, column_meta: Mapping[str, str] | None = None
+) -> ZoneMapAuditResult:
+    """Assert a table's zone maps leak nothing beyond the DET/ORE
+    ciphertext baseline.
+
+    ``table`` is a :class:`repro.engine.table.Table` whose ``zone_maps``
+    were parsed from a store manifest; ``column_meta`` (physical column
+    -> encryption scheme, as the manifest records it) tightens the check
+    by flagging artifacts on semantically secure columns outright.
+
+    The core criterion is *recomputability*: each partition's published
+    statistics must equal, byte for byte, what
+    :func:`repro.index.zonemap.build_partition_stats` derives from the
+    stored ciphertext columns alone.  The honest-but-curious server can
+    run that builder itself, so a matching artifact gives it nothing it
+    did not already have; a mismatching one encodes outside knowledge
+    and is reported as a violation.
+    """
+    from repro.index.zonemap import build_partition_stats, classify_column
+
+    zone_maps = list(getattr(table, "zone_maps", None) or [])
+    violations: list[str] = []
+    artifacts = 0
+    checked = 0
+    for index, (part, stats) in enumerate(zip(table.partitions, zone_maps)):
+        if not stats:
+            continue
+        checked += 1
+        if int(stats.get("rows", -1)) != part.nrows:
+            violations.append(
+                f"partition {index}: stats claim {stats.get('rows')} rows, "
+                f"column files hold {part.nrows}"
+            )
+        specs = {
+            name: _audit_spec(
+                name, arr, column_meta.get(name) if column_meta else None
+            )
+            for name, arr in part.columns.items()
+        }
+        expected = build_partition_stats(part, specs)["columns"]
+        for name, artifact in stats.get("columns", {}).items():
+            artifacts += 1
+            if name not in part.columns:
+                violations.append(
+                    f"partition {index}: artifact for column {name!r} which "
+                    "the server does not even store"
+                )
+                continue
+            if column_meta and column_meta.get(name) in _SEMANTIC_SCHEMES:
+                violations.append(
+                    f"partition {index}: column {name!r} is "
+                    f"{column_meta[name]}-encrypted (semantically secure) but "
+                    f"carries a {artifact.get('kind')!r} artifact"
+                )
+                continue
+            kind = classify_column(name, specs[name])
+            if artifact.get("kind") != kind:
+                violations.append(
+                    f"partition {index}: column {name!r} stats kind "
+                    f"{artifact.get('kind')!r} does not match the stored "
+                    f"ciphertext shape ({kind!r})"
+                )
+                continue
+            if artifact != expected.get(name):
+                violations.append(
+                    f"partition {index}: column {name!r} {kind} artifact is "
+                    "not recomputable from the stored ciphertexts -- it "
+                    "encodes information beyond the encryption-mode baseline"
+                )
+    return ZoneMapAuditResult(
+        partitions_checked=checked,
+        artifacts_checked=artifacts,
+        violations=violations,
+    )
 
 
 def uniformity_chi2(ciphertexts: Sequence[Any] | np.ndarray) -> float:

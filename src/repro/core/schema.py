@@ -96,6 +96,9 @@ class PlainPlan:
     def physical_columns(self) -> list[str]:
         return [self.column]
 
+    def physical_schemes(self) -> dict[str, str]:
+        return {self.column: "plain"}
+
 
 @dataclass
 class AshePlan:
@@ -117,6 +120,9 @@ class AshePlan:
         extras = [self.squares_column, self.ore_column, self.det_column]
         return [self.cipher_column] + [c for c in extras if c]
 
+    def physical_schemes(self) -> dict[str, str]:
+        return _measure_schemes(self, "ashe")
+
 
 @dataclass
 class PaillierPlan:
@@ -133,6 +139,9 @@ class PaillierPlan:
         extras = [self.squares_column, self.ore_column, self.det_column]
         return [self.cipher_column] + [c for c in extras if c]
 
+    def physical_schemes(self) -> dict[str, str]:
+        return _measure_schemes(self, "paillier")
+
 
 @dataclass
 class DetPlan:
@@ -147,6 +156,9 @@ class DetPlan:
     def physical_columns(self) -> list[str]:
         return [self.cipher_column]
 
+    def physical_schemes(self) -> dict[str, str]:
+        return {self.cipher_column: "det"}
+
 
 @dataclass
 class OrePlan:
@@ -159,6 +171,9 @@ class OrePlan:
 
     def physical_columns(self) -> list[str]:
         return [self.cipher_column]
+
+    def physical_schemes(self) -> dict[str, str]:
+        return {self.cipher_column: "ore"}
 
 
 @dataclass
@@ -187,6 +202,10 @@ class SplasheBasicPlan:
         for per_code in self.measure_columns.values():
             cols.extend(per_code)
         return cols
+
+    def physical_schemes(self) -> dict[str, str]:
+        # Indicators and splayed measures are ASHE ciphertext columns.
+        return {c: "ashe" for c in self.physical_columns()}
 
 
 @dataclass
@@ -225,6 +244,26 @@ class SplasheEnhancedPlan:
             cols.extend(per_code.values())
         cols.extend(self.others_measure.values())
         return cols
+
+    def physical_schemes(self) -> dict[str, str]:
+        schemes = {c: "ashe" for c in self.physical_columns()}
+        schemes[self.det_column] = "det"  # frequency-balanced DET tokens
+        return schemes
+
+
+def _measure_schemes(plan: "AshePlan | PaillierPlan", cipher: str) -> dict[str, str]:
+    """Per-physical-column scheme of a measure plan: the ORE/DET companion
+    columns of an ASHE or Paillier measure carry ORE/DET ciphertexts, not
+    the aggregate scheme -- the distinction store manifests record so the
+    zone-map index knows which columns are indexable."""
+    schemes = {plan.cipher_column: cipher}
+    if plan.squares_column:
+        schemes[plan.squares_column] = cipher
+    if plan.ore_column:
+        schemes[plan.ore_column] = "ore"
+    if plan.det_column:
+        schemes[plan.det_column] = "det"
+    return schemes
 
 
 ColumnPlan = (

@@ -20,7 +20,14 @@ Supported physical operations:
   pseudo-random suffix to group keys so small result sets still use all
   reducers;
 - broadcast hash joins on DET columns, with multiset ID collection for
-  build-side ASHE aggregates.
+  build-side ASHE aggregates;
+- **zone-map pruning** (:mod:`repro.index`): before dispatching a map
+  stage, the per-partition statistics a store-backed table carries are
+  consulted and partitions the filter provably cannot match -- or, for
+  unfiltered ORE min/max, partitions whose range cannot contain the
+  winner -- are never dispatched.  Pruning is conservative (any
+  uncertainty keeps the partition) so results stay bit-identical;
+  ``StageMetrics.partitions_total``/``partitions_skipped`` record it.
 """
 
 from __future__ import annotations
@@ -39,6 +46,7 @@ from repro.engine.table import Partition, Table
 from repro.errors import ExecutionError
 from repro.idlist import IdList, get_codec
 from repro.idlist.codec import encode_groups_vb_diff, encode_multiset
+from repro.index import prune
 
 _U64 = np.uint64
 
@@ -411,11 +419,21 @@ def group_reduce_task(
 
 
 class SeabedServer:
-    """Holds registered encrypted tables and executes server queries."""
+    """Holds registered encrypted tables and executes server queries.
 
-    def __init__(self, cluster: SimulatedCluster):
+    ``pruning`` enables zone-map partition pruning for store-backed
+    tables (on by default; benchmarks and equivalence tests flip it to
+    measure and verify the unpruned path).
+    """
+
+    def __init__(self, cluster: SimulatedCluster, pruning: bool = True):
         self.cluster = cluster
+        self.pruning = pruning
         self._tables: dict[str, Table] = {}
+        # name -> (source zone_maps list, compiled form).  Identity-keyed:
+        # re-registering a table swaps in a new zone_maps list, which
+        # invalidates the compiled entry automatically.
+        self._zone_compiled: dict[str, tuple[Any, list | None]] = {}
 
     def register(self, table: Table) -> None:
         self._tables[table.name] = table
@@ -449,13 +467,65 @@ class SeabedServer:
         table = self.table(q.table)
         metrics = self.cluster.new_job()
         build = self._prepare_join(q, metrics)
+        parts, skipped = self._surviving_partitions(table, q)
         if q.group_by is None:
-            response = self._execute_flat(q, table, build, metrics)
+            response = self._execute_flat(q, parts, skipped, build, metrics)
         else:
-            response = self._execute_grouped(q, table, build, metrics)
+            response = self._execute_grouped(q, parts, skipped, build, metrics)
         response.metrics = metrics
         self.cluster.account_result_transfer(metrics, response.payload_bytes)
         return response
+
+    # -- zone-map pruning --------------------------------------------------------
+
+    def _zone_maps(self, table: Table) -> list | None:
+        """The table's zone maps in compiled form, cached per table name
+        and invalidated by list identity when a table is re-registered."""
+        if table.zone_maps is None:
+            return None
+        cached = self._zone_compiled.get(table.name)
+        if cached is not None and cached[0] is table.zone_maps:
+            return cached[1]
+        compiled = prune.compile_zone_maps(table.zone_maps)
+        self._zone_compiled[table.name] = (table.zone_maps, compiled)
+        return compiled
+
+    def _filter_survivors(
+        self, table: Table, filt: FilterExpr | None
+    ) -> tuple[list[Partition], int]:
+        """Partitions the filter could match, plus how many were pruned.
+
+        Consults the table's zone maps (store-backed tables only);
+        in-memory tables and disabled pruning fall through to a full
+        dispatch.  Conservative by construction: any partition the index
+        cannot *prove* irrelevant is kept, so responses are bit-identical
+        to an unpruned run.
+        """
+        parts = table.partitions
+        if not self.pruning:
+            return parts, 0
+        keep = prune.survivors(self._zone_maps(table), filt)
+        if keep is None:
+            return parts, 0
+        kept = [p for p, k in zip(parts, keep) if k]
+        return kept, len(parts) - len(kept)
+
+    def _surviving_partitions(
+        self, table: Table, q: ServerQuery
+    ) -> tuple[list[Partition], int]:
+        """Filter pruning plus the unfiltered ORE min/max short-circuit:
+        a request whose aggregates are all ORE extremes only needs the
+        partitions whose zone-map bound ties the global winner."""
+        parts, skipped = self._filter_survivors(table, q.filter)
+        if (
+            skipped == 0 and self.pruning and table.zone_maps is not None
+            and q.filter is None and q.join is None and q.group_by is None
+        ):
+            keep = prune.extreme_candidates(self._zone_maps(table), q.aggs)
+            if keep is not None:
+                parts = [p for p, k in zip(table.partitions, keep) if k]
+                skipped = len(table.partitions) - len(parts)
+        return parts, skipped
 
     def scan(
         self,
@@ -471,12 +541,21 @@ class SeabedServer:
         table = self.table(table_name)
         metrics = self.cluster.new_job()
         columns = tuple(columns)
+        kept, skipped = self._filter_survivors(table, filt)
         calls = [
-            (dispatch_payload(part), columns, filt) for part in table.partitions
+            (dispatch_payload(part), columns, filt) for part in kept
         ]
-        parts, _ = self.cluster.map_stage("scan", scan_map_task, calls, metrics)
+        parts, stage = self.cluster.map_stage("scan", scan_map_task, calls, metrics)
+        stage.partitions_total = len(table.partitions)
+        stage.partitions_skipped = skipped
 
         def merge():
+            if not parts:
+                # Every partition was pruned: an empty result with the
+                # right dtypes, sliced from the first stored partition.
+                template = table.partitions[0]
+                cols = {c: template.column(c)[:0] for c in columns}
+                return cols, np.empty(0, dtype=_U64)
             cols = {
                 c: np.concatenate([p[0][c] for p in parts]) for c in columns
             }
@@ -531,7 +610,8 @@ class SeabedServer:
     def _execute_flat(
         self,
         q: ServerQuery,
-        table: Table,
+        parts: list[Partition],
+        skipped: int,
         build: dict[str, Any] | None,
         metrics: JobMetrics,
     ) -> ServerResponse:
@@ -539,8 +619,13 @@ class SeabedServer:
         # pickled once per partition call -- the cost a real cluster pays
         # as broadcast volume (already accounted in _prepare_join).  Store-
         # backed partitions dispatch as refs; workers map them locally.
-        calls = [(dispatch_payload(part), q, build) for part in table.partitions]
-        partials, _ = self.cluster.map_stage("aggregate", flat_map_task, calls, metrics)
+        # ``parts`` already excludes zone-map-pruned partitions.
+        calls = [(dispatch_payload(part), q, build) for part in parts]
+        partials, stage = self.cluster.map_stage(
+            "aggregate", flat_map_task, calls, metrics
+        )
+        stage.partitions_total = len(parts) + skipped
+        stage.partitions_skipped = skipped
         partials = [p for p in partials if p is not None]
 
         def merge() -> dict[str, Any]:
@@ -561,14 +646,17 @@ class SeabedServer:
     def _execute_grouped(
         self,
         q: ServerQuery,
-        table: Table,
+        parts: list[Partition],
+        skipped: int,
         build: dict[str, Any] | None,
         metrics: JobMetrics,
     ) -> ServerResponse:
-        calls = [(dispatch_payload(part), q, build) for part in table.partitions]
-        map_out, _ = self.cluster.map_stage(
+        calls = [(dispatch_payload(part), q, build) for part in parts]
+        map_out, stage = self.cluster.map_stage(
             "group-map", grouped_map_task, calls, metrics
         )
+        stage.partitions_total = len(parts) + skipped
+        stage.partitions_skipped = skipped
 
         # Shuffle: every (key, suffix) partial crosses the network once.
         shuffle_bytes = 0

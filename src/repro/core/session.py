@@ -61,9 +61,11 @@ from repro.engine.store import (
     append_store,
     compact_store,
     open_store,
+    rebuild_stats,
     snapshot_generation,
     store_generations,
     store_num_rows,
+    store_stats,
     truncate_store,
     write_store,
 )
@@ -433,6 +435,27 @@ class EncryptedTable:
         path = self.store_path
         return store_generations(path) if path is not None else []
 
+    def stats(self) -> dict:
+        """Zone-map index summary: partition/row coverage and per-column
+        artifact counts (:func:`repro.engine.store.store_stats`).  An
+        in-memory table carries no index and reports zero coverage."""
+        path = self.store_path
+        if path is None:
+            table = self._session.server.table(self.name)
+            return {
+                "partitions": table.num_partitions,
+                "partitions_with_stats": 0,
+                "rows": 0,
+                "columns": {},
+                "generation": None,
+            }
+        return store_stats(path)
+
+    def rebuild_index(self) -> dict:
+        """Recompute the store's zone-map statistics and refresh the
+        server-side view; see :meth:`SeabedSession.rebuild_index`."""
+        return self._session.rebuild_index(self.name)
+
     def builder(self) -> QueryBuilder:
         """A fluent query builder bound to this table."""
         return self._session.table(self.name)
@@ -674,6 +697,36 @@ class SeabedSession:
             write_seconds=write_seconds,
             physical_columns=len(encrypted.column_names),
         )
+
+    def stats(self, table: str) -> dict:
+        """Zone-map index summary for ``table`` (shorthand for
+        ``encrypted_table(table).stats()``)."""
+        return self.encrypted_table(table).stats()
+
+    def rebuild_index(self, table: str) -> dict:
+        """Recompute every partition's zone-map statistics for ``table``'s
+        store and refresh the server-side view.
+
+        The eager counterpart of the lazy first-mutation backfill: a
+        store written before manifest v3 gains its index immediately
+        instead of waiting for an append or compaction.  The refreshed
+        view stays pinned to the snapshot this session attached at, so a
+        generation the sidecar never committed remains invisible.
+        Returns the new index summary.
+        """
+        self._state(table)  # raises if unknown
+        registered = self.server.table(table)
+        store_path = registered.store_path
+        if store_path is None:
+            raise StorageError(
+                f"table {table!r} is not store-backed; zone maps are built "
+                "when the table is saved to a partition store"
+            )
+        summary = rebuild_stats(store_path)
+        self.server.register(
+            open_store(store_path, generation=registered.store_generation)
+        )
+        return summary
 
     def compact_table(self, table: str, target_rows: int | None = None) -> dict | None:
         """Merge runs of small append generations into full-size
@@ -1083,11 +1136,16 @@ class SeabedSession:
 
     @staticmethod
     def _column_meta(state: ClientTableState) -> dict[str, str]:
-        """Physical column -> encryption class, recorded in store manifests."""
+        """Physical column -> encryption *scheme*, recorded in store
+        manifests.  Per-physical, not per-plan: the ORE/DET companion
+        columns of an ASHE measure are recorded as ``ore``/``det``, which
+        is what tells the zone-map index (and its leakage auditor) which
+        columns are indexable ciphertext and which are semantically
+        secure."""
         return {
-            physical: plan.kind
+            physical: scheme
             for plan in state.enc_schema.plans.values()
-            for physical in plan.physical_columns()
+            for physical, scheme in plan.physical_schemes().items()
         }
 
     def _write_sidecar(

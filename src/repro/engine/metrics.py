@@ -20,12 +20,21 @@ class StageMetrics:
     ``wall_time`` is the real elapsed time the stage took on this host,
     which depends on the cluster's execution backend (serial / threads /
     processes) and the physical core count.
+
+    ``partitions_total``/``partitions_skipped`` record zone-map pruning
+    on partition-mapping stages: of the table's ``partitions_total``
+    partitions, how many the index proved irrelevant and never
+    dispatched.  Reduce and driver stages leave both at 0; a map stage
+    with pruning disabled (or nothing prunable) reports its full
+    partition count with 0 skipped.
     """
 
     name: str
     task_times: list[float]
     makespan: float
     wall_time: float = 0.0
+    partitions_total: int = 0
+    partitions_skipped: int = 0
 
     @property
     def num_tasks(self) -> int:
@@ -67,6 +76,16 @@ class JobMetrics:
         """End-to-end latency as the client experiences it."""
         return self.server_time + self.network_time + self.client_time
 
+    @property
+    def partitions_total(self) -> int:
+        """Partitions the job's map stages would touch without pruning."""
+        return sum(s.partitions_total for s in self.stages)
+
+    @property
+    def partitions_skipped(self) -> int:
+        """Partitions the zone-map index let the job skip entirely."""
+        return sum(s.partitions_skipped for s in self.stages)
+
     def stage(self, name: str) -> StageMetrics:
         for s in self.stages:
             if s.name == name:
@@ -82,4 +101,6 @@ class JobMetrics:
             "total_s": self.total_time,
             "result_bytes": float(self.result_bytes),
             "shuffle_bytes": float(self.shuffle_bytes),
+            "partitions_total": float(self.partitions_total),
+            "partitions_skipped": float(self.partitions_skipped),
         }

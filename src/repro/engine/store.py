@@ -50,6 +50,16 @@ post-append, never torn.  Only compaction retires old snapshots; a ref
 from before a compaction fails with a clear :class:`StorageError`
 instead of silently reading reshuffled partitions.
 
+**Zone maps.**  Format version 3 attaches per-partition zone-map
+statistics to every generation entry (:mod:`repro.index.zonemap`): ORE
+min/max ciphertexts, DET token sets or bloom filters, plain min/max,
+and row counts -- everything derivable from the ciphertext columns the
+server already stores, nothing more.  ``write_store``, ``append_store``
+and ``compact_store`` all emit stats for the partitions they write;
+older stores open unchanged and are backfilled lazily by their first
+mutation (or eagerly by :func:`rebuild_stats`).  The server's pruning
+planner consults these through :attr:`Table.zone_maps`.
+
 Everything stored here is public material: ciphertext columns, row IDs,
 and dtype bookkeeping.  Client-side state (plaintext schema,
 dictionaries, key-check values, and the row-count watermark that acts as
@@ -78,12 +88,15 @@ from repro.engine.storage import (
 from repro.engine.table import Partition, Table
 from repro.errors import StorageError
 from repro.idlist.codec import decode_id_spans, encode_id_spans, encode_span_groups
+from repro.index.zonemap import build_partition_stats, stats_summary
 
 FORMAT_NAME = "seabed-store"
-FORMAT_VERSION = 2
+FORMAT_VERSION = 3
 #: Manifest versions this build can read (v1 = the pre-generational
-#: single-shot format; normalised to one generation on load).
-READABLE_VERSIONS = (1, 2)
+#: single-shot format, normalised to one generation on load; v2 = the
+#: generation log without zone-map statistics, which are backfilled
+#: lazily by the store's first mutation or by :func:`rebuild_stats`).
+READABLE_VERSIONS = (1, 2, 3)
 MANIFEST_NAME = "manifest.json"
 FIRST_GENERATION = 1
 
@@ -269,7 +282,11 @@ def write_store(
     for index, part in enumerate(table.partitions):
         part_dir = os.path.join(path, _partition_dir(index))
         files = _write_partition_files(part_dir, columns, part)
-        partitions.append({"dir": _partition_dir(index), "files": files})
+        partitions.append({
+            "dir": _partition_dir(index),
+            "files": files,
+            "stats": build_partition_stats(part, columns),
+        })
 
     generation = _generation_entry(FIRST_GENERATION, "", table, partitions)
     manifest = {
@@ -334,6 +351,10 @@ def _read_manifest(path: str) -> dict:
         }
     else:
         manifest.setdefault("store_id", None)
+        # v2 -> v3 is purely additive (per-partition "stats" keys), so
+        # normalising the version here means any mutation republishes at
+        # the current format -- with the stats backfilled first.
+        manifest["version"] = FORMAT_VERSION
     return manifest
 
 
@@ -399,6 +420,35 @@ def _remove_generation_dirs(path: str, entries: list[dict]) -> None:
                 shutil.rmtree(os.path.join(path, part["dir"]), ignore_errors=True)
 
 
+def _ensure_stats(path: str, manifest: dict) -> bool:
+    """Backfill zone-map statistics for partitions that predate format
+    version 3 (lazy upgrade: runs on the store's first mutation, and
+    eagerly via :func:`rebuild_stats`).
+
+    Mutates ``manifest`` in place; returns True when anything was
+    computed.  Existing stats are left untouched -- they are
+    deterministic functions of immutable partition files.
+    """
+    entries = [
+        part for gen in manifest["generations"] for part in gen["partitions"]
+    ]
+    if all("stats" in part for part in entries):
+        return False
+    snapshot = StoreReader(path)
+    if snapshot.num_partitions != len(entries):  # pragma: no cover - defensive
+        raise StorageError(
+            f"store at {path!r}: manifest lists {len(entries)} partitions "
+            f"but the current snapshot resolves {snapshot.num_partitions}"
+        )
+    for index, part in enumerate(entries):
+        if "stats" not in part:
+            part["stats"] = build_partition_stats(
+                snapshot.partition(index), manifest["columns"]
+            )
+            snapshot.release(index)
+    return True
+
+
 def _check_append_columns(manifest: dict, columns: dict[str, dict]) -> None:
     stored = manifest["columns"]
     if set(stored) != set(columns):
@@ -458,6 +508,9 @@ def append_store(
 
     if manifest.get("store_id") is None:
         manifest["store_id"] = os.urandom(8).hex()  # v1 upgrade
+    # First-mutation upgrade: generations written before format v3 gain
+    # their zone-map stats now, in the same manifest publish as the batch.
+    _ensure_stats(path, manifest)
     gen_id = int(manifest["generation"]) + 1
     dir_name = _generation_dir(gen_id)
     staging = os.path.join(path, dir_name + ".tmp")
@@ -467,7 +520,11 @@ def append_store(
     for index, part in enumerate(table.partitions):
         part_dir = os.path.join(staging, _partition_dir(index))
         files = _write_partition_files(part_dir, columns, part)
-        partitions.append({"dir": f"{dir_name}/{_partition_dir(index)}", "files": files})
+        partitions.append({
+            "dir": f"{dir_name}/{_partition_dir(index)}",
+            "files": files,
+            "stats": build_partition_stats(part, columns),
+        })
 
     _maybe_crash("append:before-rename")
     final = os.path.join(path, dir_name)
@@ -530,6 +587,7 @@ def truncate_store(path: str | os.PathLike, num_rows: int) -> int:
         manifest["store_id"] = os.urandom(8).hex()  # v1 upgrade
     if int(manifest["num_rows"]) == num_rows:
         return 0
+    _ensure_stats(path, manifest)  # pre-v3 upgrade rides this mutation
     keep: list[dict] = []
     total = 0
     for gen in manifest["generations"]:
@@ -629,7 +687,13 @@ def compact_store(
         return len(run) > 1 or math.ceil(rows / target_rows) < parts
 
     runs = [run for run in runs if worth_it(run)]
+    # Pre-v3 generations gain their zone-map stats as part of this
+    # mutation (published below with the rewrite, or on their own when
+    # there is nothing to merge but the upgrade is still due).
+    backfilled = _ensure_stats(path, manifest)
     if not runs:
+        if backfilled:
+            _write_manifest(path, manifest)
         # Nothing to merge -- but a previous writer may have died between
         # its manifest publish and its directory cleanup, so sweep.
         _sweep_stale_tmp(path)
@@ -695,9 +759,11 @@ def compact_store(
                 manifest["columns"],
                 out_part,
             )
-            partitions.append(
-                {"dir": f"{dir_name}/{_partition_dir(out)}", "files": files}
-            )
+            partitions.append({
+                "dir": f"{dir_name}/{_partition_dir(out)}",
+                "files": files,
+                "stats": build_partition_stats(out_part, manifest["columns"]),
+            })
             out_spans.append((base + lo, hi - lo))
             del out_part, pieces
 
@@ -836,6 +902,10 @@ class StoreReader:
         self._counts = np.asarray(counts_all, dtype=np.uint64)
         self._partitions: dict[int, Partition] = {}
         self._lock = threading.Lock()
+        #: Per-partition zone-map statistics (None for pre-v3 entries).
+        self.zone_maps: list[dict | None] = [
+            entry.get("stats") for entry in self._entries
+        ]
 
     @property
     def num_partitions(self) -> int:
@@ -873,6 +943,7 @@ class StoreReader:
             parts,
             store_path=self.path,
             store_generation=self.generation,
+            zone_maps=list(self.zone_maps),
         )
 
     # -- internals -----------------------------------------------------------
@@ -1085,6 +1156,41 @@ def disk_bytes(path: str | os.PathLike) -> int:
         for filename in filenames:
             total += os.path.getsize(os.path.join(dirpath, filename))
     return total
+
+
+def rebuild_stats(path: str | os.PathLike) -> dict[str, Any]:
+    """Recompute zone-map statistics for *every* partition and publish.
+
+    The eager counterpart of the lazy first-mutation backfill: attaches
+    v3 stats to v1/v2 stores without waiting for an append, and refreshes
+    stats whose build parameters changed.  Publishing follows the same
+    atomic manifest replace as every other mutation (readers see the old
+    stats or the new ones, never a mix).  Returns the new index summary
+    (:func:`store_stats`).
+    """
+    path = os.path.abspath(os.fspath(path))
+    manifest = _read_manifest(path)
+    if manifest.get("store_id") is None:
+        manifest["store_id"] = os.urandom(8).hex()  # v1 upgrade
+    for gen in manifest["generations"]:
+        for part in gen["partitions"]:
+            part.pop("stats", None)
+    _ensure_stats(path, manifest)
+    _write_manifest(path, manifest)
+    return store_stats(path)
+
+
+def store_stats(path: str | os.PathLike) -> dict[str, Any]:
+    """Zone-map index summary: coverage and per-column artifact counts."""
+    manifest = _read_manifest(os.path.abspath(os.fspath(path)))
+    zone_maps = [
+        part.get("stats")
+        for gen in manifest["generations"]
+        for part in gen["partitions"]
+    ]
+    summary = stats_summary(zone_maps)
+    summary["generation"] = int(manifest["generation"])
+    return summary
 
 
 def store_generations(path: str | os.PathLike) -> list[dict[str, Any]]:

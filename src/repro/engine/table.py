@@ -66,6 +66,11 @@ class Table:
     ``store_generation`` the store's generation counter at the moment
     the table was opened -- the snapshot every partition ref of this
     table resolves against, no matter how far the store advances.
+
+    ``zone_maps``, when present, is the per-partition zone-map statistics
+    list (aligned with ``partitions``; entries may be None) parsed from
+    the store manifest -- what the server's pruning planner consults
+    before dispatching a stage (:mod:`repro.index`).
     """
 
     def __init__(
@@ -74,11 +79,18 @@ class Table:
         partitions: list[Partition],
         store_path: str | None = None,
         store_generation: int | None = None,
+        zone_maps: list[dict | None] | None = None,
     ):
         self.name = name
         self.partitions = partitions
         self.store_path = store_path
         self.store_generation = store_generation
+        if zone_maps is not None and len(zone_maps) != len(partitions):
+            raise ExecutionError(
+                f"table {name!r}: {len(zone_maps)} zone maps for "
+                f"{len(partitions)} partitions"
+            )
+        self.zone_maps = zone_maps
         self._validate()
 
     def _validate(self) -> None:

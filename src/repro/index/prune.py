@@ -1,0 +1,345 @@
+"""Predicate-driven partition pruning over zone-map statistics.
+
+The planner walks a *translated* server-side filter tree -- the same
+DET/ORE token comparisons the scan kernels evaluate row-wise -- and
+decides per partition whether any row could match, using only the
+partition's zone-map artifacts.  Two dual judgements drive it:
+
+- :func:`may_match` -- ``False`` only when **provably no** row in the
+  partition satisfies the expression (the partition can be skipped);
+- :func:`all_match` -- ``True`` only when **provably every** row
+  satisfies it (what negation needs: ``NOT e`` can drop a partition
+  exactly when ``e`` provably holds everywhere).
+
+Conjunctions intersect per-conjunct survivor sets, disjunctions union
+them, and *any* uncertainty -- missing stats, unknown node or operator,
+a bloom "maybe" -- keeps the partition, so pruned execution is
+bit-identical to a full scan.  SPLASHE equality selections never reach
+this tree (translation retargets them onto splayed physical columns
+present in every partition); the enhanced-SPLASHE catch-all requests
+arrive as ordinary ``DetEq`` conjuncts and prune like any other.
+
+Because the planner runs on *every* query, the manifest's JSON stats
+are first **compiled** -- token lists to frozensets, bloom payloads to
+bit arrays, ORE bounds to tuples -- via :func:`compile_zone_maps`; the
+server caches the compiled form per registered table so the per-query
+cost is a plain tree walk.  Raw manifest dicts are accepted everywhere
+and compiled on the fly.
+
+No key material is used anywhere: ORE bounds compare with the public
+Compare, DET tokens by equality against already-visible tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.crypto.ore import OreScheme
+from repro.index.bloom import BloomFilter
+
+_PLAIN_OPS = ("<", "<=", ">", ">=", "=", "!=")
+
+_SRV = None
+
+
+def _srv():
+    # Deferred, cached import: repro.core.server imports the store layer
+    # (which imports the stats builder); resolving it lazily keeps the
+    # index package cycle-free while matching on the real filter nodes.
+    global _SRV
+    if _SRV is None:
+        from repro.core import server as srv
+
+        _SRV = srv
+    return _SRV
+
+
+# ---------------------------------------------------------------------------
+# Compiled per-partition artifacts
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DetArtifact:
+    """Exact token set (small cardinality) or bloom membership."""
+
+    tokens: frozenset | None = None
+    bloom: BloomFilter | None = None
+
+    def membership(self, token: int) -> bool | None:
+        """Token possibly present?  ``None`` when the stats cannot tell."""
+        if self.tokens is not None:
+            return token in self.tokens
+        if self.bloom is not None:
+            return self.bloom.might_contain(token)
+        return None
+
+    @property
+    def sole_token(self) -> int | None:
+        if self.tokens is not None and len(self.tokens) == 1:
+            return next(iter(self.tokens))
+        return None
+
+
+@dataclass(frozen=True)
+class RangeArtifact:
+    """Min/max bounds: ORE ciphertext word tuples or plain ints."""
+
+    kind: str  # "ore" | "plain"
+    lo: Any
+    hi: Any
+
+
+@dataclass(frozen=True)
+class PartitionStats:
+    """One partition's compiled zone map."""
+
+    rows: int
+    columns: dict
+
+
+def compile_partition(stats: dict | None) -> PartitionStats | None:
+    """Compile one manifest stats dict into fast lookup artifacts."""
+    if not stats:
+        return None
+    columns: dict = {}
+    for name, col in stats.get("columns", {}).items():
+        kind = col.get("kind")
+        if kind == "det":
+            if "tokens" in col:
+                columns[name] = DetArtifact(
+                    tokens=frozenset(int(t) for t in col["tokens"])
+                )
+            elif "bloom" in col:
+                columns[name] = DetArtifact(
+                    bloom=BloomFilter.from_dict(col["bloom"])
+                )
+        elif kind == "ore":
+            columns[name] = RangeArtifact(
+                kind="ore",
+                lo=tuple(int(w) for w in col["min"]),
+                hi=tuple(int(w) for w in col["max"]),
+            )
+        elif kind == "plain":
+            columns[name] = RangeArtifact(
+                kind="plain", lo=int(col["min"]), hi=int(col["max"])
+            )
+    return PartitionStats(rows=int(stats.get("rows", 0)), columns=columns)
+
+
+def compile_zone_maps(
+    zone_maps: Sequence[dict | PartitionStats | None] | None,
+) -> list[PartitionStats | None] | None:
+    """Compile a table's zone-map list (idempotent; None passes through)."""
+    if zone_maps is None:
+        return None
+    return [
+        z if isinstance(z, PartitionStats) or z is None else compile_partition(z)
+        for z in zone_maps
+    ]
+
+
+def _as_compiled(stats: Any) -> PartitionStats | None:
+    if stats is None or isinstance(stats, PartitionStats):
+        return stats
+    return compile_partition(stats)
+
+
+# ---------------------------------------------------------------------------
+# The two dual judgements
+# ---------------------------------------------------------------------------
+
+
+def _compare(kind: str, a: Any, b: Any) -> int:
+    if kind == "ore":
+        return OreScheme.compare_words(a, b)
+    return (a > b) - (a < b)
+
+
+def _range_value(art: RangeArtifact, expr: Any) -> Any | None:
+    """The comparison value in the artifact's domain, or None if unusable."""
+    if art.kind == "ore":
+        return tuple(int(w) for w in expr.token)
+    value = expr.value
+    if not isinstance(value, (int, np.integer)):
+        return None
+    return int(value)
+
+
+def _range_may_match(kind: str, op: str, lo: Any, hi: Any, value: Any) -> bool:
+    """Could a row in [lo, hi] satisfy ``row <op> value``?"""
+    if op == "<":
+        return _compare(kind, lo, value) < 0
+    if op == "<=":
+        return _compare(kind, lo, value) <= 0
+    if op == ">":
+        return _compare(kind, hi, value) > 0
+    if op == ">=":
+        return _compare(kind, hi, value) >= 0
+    if op == "=":
+        return _compare(kind, lo, value) <= 0 <= _compare(kind, hi, value)
+    if op == "!=":
+        # Only a constant partition equal to the value excludes !=.
+        return not (
+            _compare(kind, lo, value) == 0 and _compare(kind, hi, value) == 0
+        )
+    return True
+
+
+def _range_all_match(kind: str, op: str, lo: Any, hi: Any, value: Any) -> bool:
+    """Does every row in [lo, hi] satisfy ``row <op> value``?"""
+    if op == "<":
+        return _compare(kind, hi, value) < 0
+    if op == "<=":
+        return _compare(kind, hi, value) <= 0
+    if op == ">":
+        return _compare(kind, lo, value) > 0
+    if op == ">=":
+        return _compare(kind, lo, value) >= 0
+    if op == "=":
+        return _compare(kind, lo, value) == 0 and _compare(kind, hi, value) == 0
+    if op == "!=":
+        return _compare(kind, value, lo) < 0 or _compare(kind, value, hi) > 0
+    return False
+
+
+def may_match(stats: Any, expr: Any) -> bool:
+    """False only when provably no row of the partition matches."""
+    srv = _srv()
+    stats = _as_compiled(stats)
+    if expr is None:
+        return True
+    if isinstance(expr, srv.DetEq):
+        art = stats.columns.get(expr.column) if stats else None
+        if not isinstance(art, DetArtifact):
+            return True
+        if expr.negate:
+            # A row with a *different* token exists unless the partition
+            # is constant-equal to the token (exact sets only).
+            return art.sole_token != int(expr.token)
+        present = art.membership(int(expr.token))
+        return True if present is None else present
+    if isinstance(expr, srv.DetIn):
+        art = stats.columns.get(expr.column) if stats else None
+        if not isinstance(art, DetArtifact):
+            return True
+        for token in expr.tokens:
+            present = art.membership(int(token))
+            if present is None or present:
+                return True
+        return False
+    if isinstance(expr, (srv.OreCmp, srv.PlainCmp)):
+        kind = "ore" if isinstance(expr, srv.OreCmp) else "plain"
+        art = stats.columns.get(expr.column) if stats else None
+        if not isinstance(art, RangeArtifact) or art.kind != kind:
+            return True
+        if expr.op not in _PLAIN_OPS:
+            return True
+        value = _range_value(art, expr)
+        if value is None:
+            return True
+        return _range_may_match(kind, expr.op, art.lo, art.hi, value)
+    if isinstance(expr, srv.FilterAnd):
+        return all(may_match(stats, child) for child in expr.children)
+    if isinstance(expr, srv.FilterOr):
+        return any(may_match(stats, child) for child in expr.children)
+    if isinstance(expr, srv.FilterNot):
+        return not all_match(stats, expr.child)
+    return True  # unknown node (e.g. an unbound ParamFilter): keep
+
+
+def all_match(stats: Any, expr: Any) -> bool:
+    """True only when provably every row of the partition matches."""
+    srv = _srv()
+    stats = _as_compiled(stats)
+    if expr is None:
+        return True
+    if isinstance(expr, srv.DetEq):
+        art = stats.columns.get(expr.column) if stats else None
+        if not isinstance(art, DetArtifact):
+            return False
+        if expr.negate:
+            # Absence proves every row differs; bloom "no" is exact.
+            return art.membership(int(expr.token)) is False
+        return art.sole_token == int(expr.token)
+    if isinstance(expr, srv.DetIn):
+        art = stats.columns.get(expr.column) if stats else None
+        if not isinstance(art, DetArtifact) or art.tokens is None:
+            return False
+        return art.tokens <= {int(t) for t in expr.tokens}
+    if isinstance(expr, (srv.OreCmp, srv.PlainCmp)):
+        kind = "ore" if isinstance(expr, srv.OreCmp) else "plain"
+        art = stats.columns.get(expr.column) if stats else None
+        if not isinstance(art, RangeArtifact) or art.kind != kind:
+            return False
+        if expr.op not in _PLAIN_OPS:
+            return False
+        value = _range_value(art, expr)
+        if value is None:
+            return False
+        return _range_all_match(kind, expr.op, art.lo, art.hi, value)
+    if isinstance(expr, srv.FilterAnd):
+        return all(all_match(stats, child) for child in expr.children)
+    if isinstance(expr, srv.FilterOr):
+        return any(all_match(stats, child) for child in expr.children)
+    if isinstance(expr, srv.FilterNot):
+        return not may_match(stats, expr.child)
+    return False  # unknown node: cannot prove anything
+
+
+# ---------------------------------------------------------------------------
+# Table-level entry points
+# ---------------------------------------------------------------------------
+
+
+def survivors(
+    zone_maps: Sequence[dict | PartitionStats | None] | None, filt: Any
+) -> np.ndarray | None:
+    """Boolean keep-mask over partitions, or ``None`` when the index
+    cannot prune (no filter, or no partition has statistics)."""
+    if filt is None or zone_maps is None:
+        return None
+    if not any(zone_maps):
+        return None
+    return np.asarray(
+        [may_match(stats, filt) for stats in zone_maps], dtype=bool
+    )
+
+
+def extreme_candidates(
+    zone_maps: Sequence[dict | PartitionStats | None] | None,
+    aggs: Sequence[Any],
+) -> np.ndarray | None:
+    """Keep-mask for an *unfiltered* request whose aggregates are all ORE
+    min/max: only partitions whose zone-map bound ties the global winner
+    can host it, so the tournament skips the rest.  Tie partitions are
+    all kept in order, which preserves the exact winning row (and its
+    ID) the unpruned merge would pick.  ``None`` when any needed bound
+    is missing.
+    """
+    srv = _srv()
+    if zone_maps is None or not aggs:
+        return None
+    if not all(isinstance(a, srv.OreExtreme) for a in aggs):
+        return None
+    compiled = [_as_compiled(z) for z in zone_maps]
+    keep = np.zeros(len(compiled), dtype=bool)
+    for agg in aggs:
+        bounds: list[tuple[int, ...]] = []
+        for stats in compiled:
+            art = stats.columns.get(agg.ore_column) if stats else None
+            if not isinstance(art, RangeArtifact) or art.kind != "ore":
+                return None  # a partition without bounds could win: no pruning
+            bounds.append(art.lo if agg.kind == "min" else art.hi)
+        best = bounds[0]
+        for bound in bounds[1:]:
+            cmp = OreScheme.compare_words(bound, best)
+            if (agg.kind == "min" and cmp < 0) or (agg.kind == "max" and cmp > 0):
+                best = bound
+        for i, bound in enumerate(bounds):
+            if OreScheme.compare_words(bound, best) == 0:
+                keep[i] = True
+    return keep

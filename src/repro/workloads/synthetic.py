@@ -81,6 +81,21 @@ def selectivity_mask(rows: int, selectivity: float, seed: int = 0) -> np.ndarray
     return rng.random(rows) < selectivity
 
 
+def clustered_ids(rows: int, cardinality: int, seed: int = 0) -> np.ndarray:
+    """A *sorted* int64 ID column with ``cardinality`` distinct values.
+
+    Sorted draws model the layouts zone maps exploit in production
+    stores: data clustered by tenant, user bucket, or arrival time, so
+    each partition covers a narrow, mostly disjoint slice of the domain
+    and a selective point/range predicate touches few partitions.  (On
+    unclustered data the index degrades gracefully to a full scan.)
+    """
+    if rows < 1 or cardinality < 1:
+        raise SeabedError("rows and cardinality must be positive")
+    rng = np.random.default_rng(seed)
+    return np.sort(rng.integers(0, cardinality, rows)).astype(np.int64)
+
+
 def selectivity_filter_column(rows: int, seed: int = 0) -> np.ndarray:
     """A uniform [0, 1e6) column; ``sel_col < s * 1e6`` selects ~s of the
     rows, letting benchmarks express selectivity as a server-side filter."""

@@ -186,4 +186,5 @@ class TestJobMetrics:
         assert set(summary) == {
             "server_s", "real_s", "network_s", "client_s", "total_s",
             "result_bytes", "shuffle_bytes",
+            "partitions_total", "partitions_skipped",
         }

@@ -143,12 +143,14 @@ class TestV1Compat:
         assert current_generation(path) == 1
         assert np.array_equal(column_across(path, "u"), table.column("u"))
 
-    def test_append_upgrades_v1_to_v2(self, tmp_path):
+    def test_append_upgrades_v1_to_current(self, tmp_path):
+        from repro.engine.store import FORMAT_VERSION
+
         path = write_store(build_table(rows=24, partitions=3), tmp_path / "s")
         downgrade_to_v1(path)
         append_store(build_table(rows=10, partitions=1, base_id=24), path)
         manifest = json.load(open(os.path.join(path, MANIFEST_NAME)))
-        assert manifest["version"] == 2
+        assert manifest["version"] == FORMAT_VERSION
         assert manifest["store_id"]
         assert [g["id"] for g in manifest["generations"]] == [1, 2]
         assert open_store(path).num_rows == 34

@@ -1,0 +1,129 @@
+"""Manifest v3 zone-map statistics: emission, backfill, rebuild."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.engine.store import (
+    FORMAT_VERSION,
+    MANIFEST_NAME,
+    append_store,
+    compact_store,
+    open_store,
+    rebuild_stats,
+    store_stats,
+    write_store,
+)
+from repro.engine.table import Table
+from repro.errors import StorageError
+
+
+def build_table(rows=24, partitions=3, base_id=0, seed=5, name="zm"):
+    rng = np.random.default_rng(seed)
+    columns = {
+        "u__det": rng.integers(0, 6, rows, dtype=np.uint64),
+        "year": rng.integers(2013, 2017, rows).astype(np.int64),
+        "m__ashe": rng.integers(0, 2**60, rows, dtype=np.uint64),
+    }
+    return Table.from_columns(name, columns, num_partitions=partitions,
+                              base_id=base_id)
+
+
+def manifest_of(path):
+    return json.load(open(os.path.join(path, MANIFEST_NAME)))
+
+
+def strip_stats(path, version=2):
+    """Rewrite the manifest as a pre-zone-map (v2) store."""
+    manifest = manifest_of(path)
+    manifest["version"] = version
+    for gen in manifest["generations"]:
+        for part in gen["partitions"]:
+            part.pop("stats", None)
+    json.dump(manifest, open(os.path.join(path, MANIFEST_NAME), "w"))
+
+
+class TestEmission:
+    def test_write_store_emits_v3_stats(self, tmp_path):
+        path = write_store(build_table(), tmp_path / "s")
+        manifest = manifest_of(path)
+        assert manifest["version"] == FORMAT_VERSION == 3
+        for part in manifest["generations"][0]["partitions"]:
+            stats = part["stats"]
+            assert stats["rows"] > 0 and stats["nulls"] == 0
+            assert stats["columns"]["u__det"]["kind"] == "det"
+            assert stats["columns"]["year"]["kind"] == "plain"
+            assert "m__ashe" not in stats["columns"]
+
+    def test_open_store_attaches_zone_maps(self, tmp_path):
+        path = write_store(build_table(), tmp_path / "s")
+        table = open_store(path)
+        assert table.zone_maps is not None
+        assert len(table.zone_maps) == table.num_partitions
+        assert all(z and z["rows"] for z in table.zone_maps)
+
+    def test_append_and_compact_emit_stats(self, tmp_path):
+        path = write_store(build_table(rows=24, partitions=3), tmp_path / "s")
+        append_store(build_table(rows=6, partitions=1, base_id=24, seed=9), path)
+        append_store(build_table(rows=6, partitions=1, base_id=30, seed=10), path)
+        assert all(z for z in open_store(path).zone_maps)
+        assert compact_store(path) is not None
+        table = open_store(path)
+        assert all(z for z in table.zone_maps)
+        summary = store_stats(path)
+        assert summary["partitions_with_stats"] == summary["partitions"]
+
+
+class TestBackfill:
+    def test_v2_store_opens_without_stats(self, tmp_path):
+        path = write_store(build_table(), tmp_path / "s")
+        strip_stats(path)
+        table = open_store(path)
+        assert table.zone_maps == [None, None, None]
+        assert store_stats(path)["partitions_with_stats"] == 0
+
+    def test_first_append_backfills_everything(self, tmp_path):
+        path = write_store(build_table(), tmp_path / "s")
+        strip_stats(path)
+        append_store(build_table(rows=6, partitions=1, base_id=24, seed=9), path)
+        manifest = manifest_of(path)
+        assert manifest["version"] == FORMAT_VERSION
+        assert all(
+            "stats" in part
+            for gen in manifest["generations"] for part in gen["partitions"]
+        )
+        # The backfilled stats match what a fresh build would compute.
+        reference = write_store(
+            build_table(), tmp_path / "ref", overwrite=True
+        )
+        want = [
+            p["stats"] for p in manifest_of(reference)["generations"][0]["partitions"]
+        ]
+        got = [p["stats"] for p in manifest_of(path)["generations"][0]["partitions"]]
+        assert got == want
+
+    def test_noop_compaction_still_upgrades(self, tmp_path):
+        path = write_store(build_table(rows=24, partitions=3), tmp_path / "s")
+        strip_stats(path)
+        assert compact_store(path) is None  # nothing to merge...
+        assert store_stats(path)["partitions_with_stats"] == 3  # ...but upgraded
+
+    def test_rebuild_stats_is_eager_and_idempotent(self, tmp_path):
+        path = write_store(build_table(), tmp_path / "s")
+        strip_stats(path)
+        summary = rebuild_stats(path)
+        assert summary["partitions_with_stats"] == 3
+        assert summary["columns"]["u__det"]["kind"] == "det"
+        before = manifest_of(path)
+        rebuild_stats(path)
+        assert manifest_of(path)["generations"] == before["generations"]
+
+    def test_future_version_still_rejected(self, tmp_path):
+        path = write_store(build_table(), tmp_path / "s")
+        manifest = manifest_of(path)
+        manifest["version"] = FORMAT_VERSION + 1
+        json.dump(manifest, open(os.path.join(path, MANIFEST_NAME), "w"))
+        with pytest.raises(StorageError, match="format version"):
+            open_store(path)

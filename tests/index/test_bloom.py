@@ -1,0 +1,81 @@
+"""Bloom filter invariants the pruning contract depends on.
+
+The planner drops a partition on a membership "no", so the one property
+that may never break is *no false negatives*.  Everything else --
+serialisation, sizing, determinism (which the leakage audit relies on)
+-- is checked alongside.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SeabedError
+from repro.index.bloom import BloomFilter
+
+tokens_lists = st.lists(
+    st.integers(min_value=0, max_value=2**64 - 1), min_size=1, max_size=300
+)
+
+
+@given(tokens=tokens_lists)
+def test_no_false_negatives(tokens):
+    bloom = BloomFilter.for_capacity(len(set(tokens)))
+    bloom.add_tokens(np.asarray(tokens, dtype=np.uint64))
+    assert all(bloom.might_contain(t) for t in tokens)
+
+
+@given(tokens=tokens_lists)
+def test_round_trip_preserves_bits(tokens):
+    bloom = BloomFilter.for_capacity(len(set(tokens)))
+    bloom.add_tokens(np.asarray(tokens, dtype=np.uint64))
+    assert BloomFilter.from_dict(bloom.to_dict()) == bloom
+
+
+def test_deterministic_for_same_tokens():
+    """Recomputability: the audit recomputes blooms from visible tokens
+    and expects identical bits, regardless of insertion order."""
+    tokens = np.arange(1000, dtype=np.uint64) * np.uint64(0x9E3779B9)
+    a = BloomFilter.for_capacity(tokens.size)
+    a.add_tokens(tokens)
+    b = BloomFilter.for_capacity(tokens.size)
+    b.add_tokens(tokens[::-1].copy())
+    assert a == b
+
+
+def test_false_positive_rate_reasonable():
+    rng = np.random.default_rng(7)
+    members = rng.integers(0, 2**63, 2000, dtype=np.uint64)
+    bloom = BloomFilter.for_capacity(members.size)
+    bloom.add_tokens(members)
+    member_set = set(members.tolist())
+    probes = [t for t in rng.integers(0, 2**63, 4000, dtype=np.uint64).tolist()
+              if t not in member_set]
+    fp = sum(bloom.might_contain(t) for t in probes) / len(probes)
+    assert fp < 0.05, f"false-positive rate {fp:.3f} far above the ~1% target"
+
+
+def test_empty_filter_rejects_everything():
+    bloom = BloomFilter.for_capacity(10)
+    assert not bloom.might_contain(123)
+    assert bloom.fill_ratio == 0.0
+
+
+def test_saturated_filter_accepts_everything():
+    bloom = BloomFilter(64, 4, words=np.full(1, ~np.uint64(0), dtype=np.uint64))
+    assert bloom.fill_ratio == 1.0
+    assert all(bloom.might_contain(t) for t in range(100))
+
+
+def test_malformed_payloads_rejected():
+    bloom = BloomFilter.for_capacity(4)
+    payload = bloom.to_dict()
+    with pytest.raises(SeabedError, match="bits"):
+        BloomFilter.from_dict({**payload, "m": payload["m"] * 2})
+    with pytest.raises(SeabedError, match="malformed"):
+        BloomFilter.from_dict({"m": 64})
+    with pytest.raises(SeabedError, match="multiple of 64"):
+        BloomFilter(63, 2)
+    with pytest.raises(SeabedError, match="hash"):
+        BloomFilter(64, 0)

@@ -391,7 +391,9 @@ class TestV1StoreCompat:
         assert rows_of(fresh, TOTAL) == expected
 
         fresh.append_rows("sales", dataset(n=100, seed=71))
+        from repro.engine.store import FORMAT_VERSION
+
         manifest = json.load(open(os.path.join(path, MANIFEST_NAME)))
-        assert manifest["version"] == 2
+        assert manifest["version"] == FORMAT_VERSION
         assert [g["id"] for g in manifest["generations"]] == [1, 2]
         assert fresh.query(COUNT).rows[0]["count(*)"] == 700
