@@ -34,6 +34,7 @@ SCALES = {
         "store_rows": 200_000,
         "ingest_rows": 100_000,
         "pruning_rows": 400_000,
+        "shard_rows": 60_000,
     },
     "small": {
         "fig6_rows": [50_000, 100_000, 200_000, 400_000],
@@ -49,6 +50,7 @@ SCALES = {
         "store_rows": 400_000,
         "ingest_rows": 400_000,
         "pruning_rows": 1_000_000,
+        "shard_rows": 400_000,
     },
     "medium": {
         "fig6_rows": [250_000, 500_000, 1_000_000, 2_000_000],
@@ -64,6 +66,7 @@ SCALES = {
         "store_rows": 2_000_000,
         "ingest_rows": 2_000_000,
         "pruning_rows": 4_000_000,
+        "shard_rows": 1_000_000,
     },
     "large": {
         "fig6_rows": [1_000_000, 2_000_000, 4_000_000, 8_000_000],
@@ -79,6 +82,7 @@ SCALES = {
         "store_rows": 8_000_000,
         "ingest_rows": 8_000_000,
         "pruning_rows": 8_000_000,
+        "shard_rows": 4_000_000,
     },
 }
 

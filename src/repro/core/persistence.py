@@ -35,6 +35,13 @@ SIDECAR_NAME = "client_state.json"
 SIDECAR_FORMAT = "seabed-client-state"
 SIDECAR_VERSION = 1
 
+# A sharded table's sidecar lives at the *sharded root* (above the
+# per-node directories) and embeds the ordinary client state plus the
+# topology and per-shard row cursors; see write_sharded_sidecar.
+SHARDED_SIDECAR_NAME = "sharded_state.json"
+SHARDED_FORMAT = "seabed-sharded-state"
+SHARDED_VERSION = 1
+
 _PLAN_CLASSES: dict[str, type] = {
     "plain": sc.PlainPlan,
     "ashe": sc.AshePlan,
@@ -276,6 +283,91 @@ def write_sidecar(
         target, state_to_dict(state, mode, prf_backend, keychain, paillier_n)
     )
     return target
+
+
+def write_sharded_sidecar(
+    root: str,
+    state: ClientTableState,
+    mode: str,
+    prf_backend: str,
+    keychain: KeyChain,
+    topology: dict[str, Any],
+    shard_cursors: dict[int, dict[str, int]],
+    paillier_n: int | None = None,
+) -> str:
+    """Atomically (re)write a sharded table's client-state sidecar.
+
+    Same role as :func:`write_sidecar` -- the commit record of sharded
+    ingestion -- plus the distribution half a fresh session needs to
+    rebuild the worker fleet: the ring ``topology`` (as produced by
+    ``ShardTopology.to_dict``) and one ``{"next_row_id", "num_rows"}``
+    cursor per shard (shard row-ID spaces are disjoint strides, so every
+    shard keeps its own high-water mark).  A shard generation counts as
+    durable only once its cursor lands here; uncommitted tails are
+    truncated by the next reconcile.
+    """
+    payload = state_to_dict(state, mode, prf_backend, keychain, paillier_n)
+    payload["format"] = SHARDED_FORMAT
+    payload["version"] = SHARDED_VERSION
+    payload["sharding"] = {
+        "topology": dict(topology),
+        "shards": {
+            str(shard): {
+                "next_row_id": int(cursor["next_row_id"]),
+                "num_rows": int(cursor["num_rows"]),
+            }
+            for shard, cursor in shard_cursors.items()
+        },
+    }
+    target = os.path.join(root, SHARDED_SIDECAR_NAME)
+    atomic_write_json(target, payload)
+    return target
+
+
+def read_sharded_sidecar(
+    root: str,
+) -> tuple[ClientTableState, dict[str, Any], dict[str, Any]]:
+    """Read a sharded sidecar: ``(state, attach_info, sharding)``.
+
+    ``sharding`` carries ``topology`` (a ``ShardTopology.to_dict``
+    payload) and ``shards`` -- per-shard cursors keyed by ``int`` shard
+    id (JSON stringifies them; this undoes that).
+    """
+    target = os.path.join(root, SHARDED_SIDECAR_NAME)
+    try:
+        with open(target) as fh:
+            data = json.load(fh)
+    except FileNotFoundError:
+        raise StorageError(
+            f"no sharded table at {root!r}: the sharded client-state "
+            "sidecar is missing"
+        ) from None
+    except json.JSONDecodeError as exc:
+        raise StorageError(f"corrupt sharded client-state sidecar: {exc}") from None
+    if data.get("format") != SHARDED_FORMAT:
+        raise StorageError("not a seabed sharded client-state sidecar")
+    if data.get("version") != SHARDED_VERSION:
+        raise StorageError(
+            f"sharded client-state version {data.get('version')!r} is not "
+            f"readable by this build (expected {SHARDED_VERSION})"
+        )
+    sharding = data["sharding"]
+    sharding = {
+        "topology": dict(sharding["topology"]),
+        "shards": {
+            int(shard): {
+                "next_row_id": int(cursor["next_row_id"]),
+                "num_rows": int(cursor["num_rows"]),
+            }
+            for shard, cursor in sharding["shards"].items()
+        },
+    }
+    # The embedded client state is the ordinary single-table format.
+    base = dict(data)
+    base["format"] = SIDECAR_FORMAT
+    base["version"] = SIDECAR_VERSION
+    state, attach_info = state_from_dict(base)
+    return state, attach_info, sharding
 
 
 def read_sidecar(store_path: str) -> tuple[ClientTableState, dict[str, Any]]:

@@ -434,9 +434,26 @@ class SeabedServer:
         # re-registering a table swaps in a new zone_maps list, which
         # invalidates the compiled entry automatically.
         self._zone_compiled: dict[str, tuple[Any, list | None]] = {}
+        # Tables served by a shard coordinator (repro.shard) instead of a
+        # locally registered Table; execute()/scan() delegate by name, so
+        # the whole prepared-query/translation layer above is untouched.
+        self._sharded: dict[str, Any] = {}
 
     def register(self, table: Table) -> None:
         self._tables[table.name] = table
+
+    def unregister(self, name: str) -> None:
+        """Drop a registered table (and its compiled zone maps), if any."""
+        self._tables.pop(name, None)
+        self._zone_compiled.pop(name, None)
+
+    def register_sharded(self, name: str, coordinator: Any) -> None:
+        """Route queries against ``name`` to a shard coordinator."""
+        self._sharded[name] = coordinator
+
+    def sharded(self, name: str) -> Any | None:
+        """The shard coordinator serving ``name``, if any."""
+        return self._sharded.get(name)
 
     def append(self, table: Table) -> None:
         """Append a new upload batch to an existing table."""
@@ -464,6 +481,9 @@ class SeabedServer:
     # -- execution -------------------------------------------------------------
 
     def execute(self, q: ServerQuery) -> ServerResponse:
+        coordinator = self._sharded.get(q.table)
+        if coordinator is not None:
+            return coordinator.execute(q)
         table = self.table(q.table)
         metrics = self.cluster.new_job()
         build = self._prepare_join(q, metrics)
@@ -538,6 +558,9 @@ class SeabedServer:
         Used by scan-style queries (Big Data Benchmark query 1); the proxy
         decrypts the returned ciphertext columns row-by-row.
         """
+        coordinator = self._sharded.get(table_name)
+        if coordinator is not None:
+            return coordinator.scan(table_name, columns, filt)
         table = self.table(table_name)
         metrics = self.cluster.new_job()
         columns = tuple(columns)
@@ -640,6 +663,68 @@ class SeabedServer:
             _payload_nbytes(v) for v in flat.values() if v is not None
         )
         return ServerResponse(kind="flat", flat=flat, payload_bytes=payload_bytes)
+
+    # -- shard-worker partial aggregation ---------------------------------------
+
+    def execute_partial(self, q: ServerQuery) -> ServerResponse:
+        """Execute ``q`` but stop before the final merge (shard workers).
+
+        A shard worker runs this against its local slice of the table and
+        returns per-aggregate *piece lists*; the coordinator concatenates
+        the lists from every shard and applies the one final
+        :func:`merge_payloads` per aggregate, so the merged result is
+        bit-identical to single-store execution.  Associative payloads
+        (wrapping ASHE sums, plain folds, Paillier products, ORE local
+        winners) are pre-merged node-side to at most one piece -- the
+        node-side partial aggregation of the scatter-gather design --
+        while gather-style payloads (:data:`_GATHER_TAGS`: medians and
+        the ASHE raw-id ablation), whose final merge is not associative,
+        are shipped raw.
+
+        Grouped queries fall through to :meth:`execute`: every groupable
+        partial is associative, so per-shard group results merge exactly
+        coordinator-side (duplicate keys are combined there).
+        """
+        if q.group_by is not None:
+            return self.execute(q)
+        table = self.table(q.table)
+        metrics = self.cluster.new_job()
+        build = self._prepare_join(q, metrics)
+        parts, skipped = self._surviving_partitions(table, q)
+        calls = [(dispatch_payload(part), q, build) for part in parts]
+        partials, stage = self.cluster.map_stage(
+            "aggregate", flat_map_task, calls, metrics
+        )
+        stage.partitions_total = len(parts) + skipped
+        stage.partitions_skipped = skipped
+        partials = [p for p in partials if p is not None]
+
+        def premerge() -> dict[str, list[Any]]:
+            out: dict[str, list[Any]] = {}
+            for agg in q.aggs:
+                pieces = [
+                    p[agg.alias] for p in partials if p[agg.alias] is not None
+                ]
+                if pieces and pieces[0][0] not in _GATHER_TAGS:
+                    pieces = [merge_payloads(agg, pieces)]
+                out[agg.alias] = pieces
+            return out
+
+        flat = self.cluster.run_driver("partial-merge", premerge, metrics)
+        payload_bytes = sum(
+            _payload_nbytes(v)
+            for pieces in flat.values()
+            for v in pieces
+            if v is not None
+        )
+        response = ServerResponse(
+            kind="partial", flat=flat, payload_bytes=payload_bytes
+        )
+        response.metrics = metrics
+        # The shard's "client" is the coordinator: gathering the partials
+        # crosses the cluster network once per shard.
+        self.cluster.account_result_transfer(metrics, payload_bytes)
+        return response
 
     # -- grouped aggregation ------------------------------------------------------
 
@@ -859,6 +944,13 @@ def _ore_quickselect(
         cipher = cipher[keep]
         payloads = payloads[keep]
         row_ids = row_ids[keep]
+
+
+# Payload tags whose final merge is NOT associative: merging a subset
+# changes the tag (gather -> final), so shard workers must ship these
+# pieces raw and let the coordinator merge exactly once.  Everything else
+# ("ashe", "plain" folds, "paillier", "extreme") pre-merges node-side.
+_GATHER_TAGS = frozenset({"ashe_raw", "median_gather", "median_gather_plain"})
 
 
 def merge_payloads(agg: AggOp, pieces: list[Any]) -> Any:

@@ -69,6 +69,7 @@ from repro.engine.store import (
     truncate_store,
     write_store,
 )
+from repro.engine.storage import serialize_table
 from repro.errors import PlanningError, StorageError, TranslationError
 from repro.ops import OPS
 from repro.query.ast import (
@@ -464,6 +465,79 @@ class EncryptedTable:
         return f"EncryptedTable({self.name!r}, rows={self.num_rows})"
 
 
+class ShardedTable:
+    """Handle to a table split across process-isolated shard workers.
+
+    Returned by :meth:`SeabedSession.shard_table` and
+    :meth:`SeabedSession.open_sharded`.  Queries go through the ordinary
+    session surface (the server delegates to the shard coordinator by
+    table name); this handle exposes the distribution-specific levers:
+    replicated appends, per-shard row counts, compaction, and the fault
+    injection the failover tests and demos use.
+    """
+
+    def __init__(self, session: "SeabedSession", name: str):
+        self._session = session
+        self.name = name
+
+    @property
+    def store(self) -> ShardedStore:
+        return self._session._sharded_stores[self.name]
+
+    @property
+    def topology(self) -> ShardTopology:
+        return self.store.topology
+
+    @property
+    def root(self) -> str:
+        return self.store.root
+
+    @property
+    def num_rows(self) -> int:
+        return self._session.table_state(self.name).num_rows
+
+    def append(
+        self, columns: Mapping[str, Any], num_partitions: int | None = None
+    ) -> AppendStats:
+        """Route one plaintext batch to its shards and append everywhere;
+        see :meth:`SeabedSession.append_sharded`."""
+        return self._session.append_sharded(
+            self.name, columns, num_partitions=num_partitions
+        )
+
+    def compact(self, target_rows: int | None = None) -> dict[int, dict | None]:
+        """Compact every shard store on every live replica."""
+        self._session._reconcile_sharded(self.name)
+        return self.store.compact(target_rows)
+
+    def shard_rows(self) -> dict[int, int]:
+        """Rows per shard (asks the first live replica of each)."""
+        return {s: self.store.shard_rows(s) for s in self.store.shards}
+
+    def kill_node(self, node: int) -> None:
+        """Hard-kill one shard worker process (fault injection)."""
+        self.store.kill_node(node)
+
+    def arm_exit(self, node: int, method: str, after: int = 1) -> None:
+        """Arm a fail point: ``node`` dies mid-``method``, reply unsent."""
+        self.store.arm_exit(node, method, after)
+
+    def builder(self) -> QueryBuilder:
+        """A fluent query builder bound to this table."""
+        return self._session.table(self.name)
+
+    def close(self) -> None:
+        """Shut down every shard worker process."""
+        self.store.close()
+
+    def __repr__(self) -> str:
+        topo = self.topology
+        return (
+            f"ShardedTable({self.name!r}, shards={topo.num_shards}, "
+            f"replicas={topo.replicas}, rows={self.num_rows})"
+        )
+
+
 class SeabedSession:
     """The trusted client session: planner + encryptor + prepared-query
     execution over one keychain and cluster.
@@ -517,6 +591,10 @@ class SeabedSession:
             AccessController() if access_control else None
         )
         self._cache = TranslationCache(maxsize=cache_size)
+        # Sharded tables: worker fleet per table, plus one client-state
+        # cursor per shard (disjoint row-ID strides; shared dictionaries).
+        self._sharded_stores: dict[str, ShardedStore] = {}
+        self._shard_states: dict[str, dict[int, ClientTableState]] = {}
 
     # -- planning ---------------------------------------------------------------
 
@@ -601,6 +679,16 @@ class SeabedSession:
         and to config-driven batch slicing for store appends.
         """
         state = self._state(table)
+        if table in self._sharded_stores:
+            stats = self.append_sharded(
+                table, columns, num_partitions=num_partitions
+            )
+            return UploadStats(
+                table=table,
+                rows=stats.rows,
+                encrypt_seconds=stats.encrypt_seconds,
+                physical_columns=stats.physical_columns,
+            )
         registered = self.server.get(table)
         if registered is not None and registered.store_path is not None:
             stats = self.append_rows(table, columns, num_partitions=num_partitions)
@@ -854,6 +942,333 @@ class SeabedSession:
         # now, so no cached translation can reference it, and attaching
         # must not evict other tables' hot templates.
         return EncryptedTable(self, name)
+
+    # -- sharded tables ---------------------------------------------------------
+
+    def shard_table(
+        self,
+        name: str,
+        shard_key: str,
+        path: str | None = None,
+        *,
+        num_shards: int = 4,
+        replicas: int = 1,
+        vnodes: int = 64,
+    ) -> ShardedTable:
+        """Split a freshly planned table across ``num_shards`` worker
+        processes, placed by ``shard_key``'s DET tokens on a consistent-
+        hash ring with ``replicas``-way replica chains.
+
+        Must run before any rows are ingested: rows are routed to shards
+        at encryption time so each shard's store keeps the contiguous
+        row-ID invariant (re-sharding ciphertexts would break ASHE pad
+        telescoping).  ``shard_key`` must carry a DET ciphertext column
+        (a det-planned dimension, or a measure with a DET companion) --
+        that is what point/IN predicates route through.  ``path``
+        defaults to the table name under the cluster's ``storage_dir``.
+        """
+        # Imported lazily: repro.shard itself imports the server module,
+        # so a top-level import here would close a package cycle.
+        from repro.shard.coordinator import (
+            SHARD_ID_STRIDE,
+            ShardCoordinator,
+            ShardedStore,
+            ShardTopology,
+        )
+
+        state = self._state(name)
+        if name in self._sharded_stores:
+            raise StorageError(f"table {name!r} is already sharded")
+        if state.num_rows > 0:
+            raise StorageError(
+                f"table {name!r} already holds {state.num_rows} rows; "
+                "shard_table must run before the first upload so rows are "
+                "routed to shards at encryption time"
+            )
+        key_column, _ = self._shard_key_column(state, shard_key)
+        root = self.cluster.config.resolve_store_path(path or name)
+        os.makedirs(root, exist_ok=True)
+        topology = ShardTopology(
+            table=name,
+            shard_key=shard_key,
+            key_column=key_column,
+            num_shards=num_shards,
+            replicas=replicas,
+            vnodes=vnodes,
+        )
+        store = ShardedStore(root, topology, self.cluster.config)
+        self._sharded_stores[name] = store
+        self._shard_states[name] = {
+            s: ClientTableState(
+                schema=state.schema,
+                enc_schema=state.enc_schema,
+                dictionaries=state.dictionaries,  # shared: codes stay global
+                next_row_id=s * SHARD_ID_STRIDE,
+                num_rows=0,
+            )
+            for s in range(num_shards)
+        }
+        self.server.register_sharded(name, ShardCoordinator(store, self.cluster))
+        self._write_sharded_sidecar(root, name)  # commit the empty layout
+        return ShardedTable(self, name)
+
+    def open_sharded(self, path: str) -> ShardedTable:
+        """Attach a persisted sharded table: read the sharded sidecar,
+        respawn the worker fleet over the existing node directories, and
+        roll back any shard generations a dead writer never committed.
+        Verification mirrors :meth:`open_table` (mode, key check,
+        Paillier modulus)."""
+        from repro.shard.coordinator import (  # lazy: avoids package cycle
+            ShardCoordinator,
+            ShardedStore,
+            ShardTopology,
+        )
+
+        root = self.cluster.config.resolve_store_path(path)
+        state, attach, sharding = ps.read_sharded_sidecar(root)
+        name = state.schema.name
+        if name in self._states:
+            raise StorageError(
+                f"table {name!r} is already registered in this session"
+            )
+        if attach["mode"] != self.mode:
+            raise StorageError(
+                f"sharded table at {root!r} was written in mode "
+                f"{attach['mode']!r}; this session runs mode {self.mode!r}"
+            )
+        if attach["key_check"] != ps.key_check_value(self._keychain, name):
+            raise StorageError(
+                "the session master key cannot decrypt the sharded table at "
+                f"{root!r} (key-check mismatch)"
+            )
+        if self.mode == "paillier":
+            assert self._paillier is not None
+            if attach["paillier_n"] != self._paillier.n:
+                raise StorageError(
+                    "the session's Paillier key pair differs from the one "
+                    "that encrypted this sharded table; pass the original keys"
+                )
+        topology = ShardTopology.from_dict(sharding["topology"])
+        store = ShardedStore(root, topology, self.cluster.config)
+        self._states[name] = state
+        self._factories[name] = CryptoFactory(
+            self._keychain, name, prf_backend=attach["prf_backend"]
+        )
+        self._sample_queries.setdefault(name, [])
+        self._sharded_stores[name] = store
+        self._shard_states[name] = {
+            shard: ClientTableState(
+                schema=state.schema,
+                enc_schema=state.enc_schema,
+                dictionaries=state.dictionaries,
+                next_row_id=cursor["next_row_id"],
+                num_rows=cursor["num_rows"],
+            )
+            for shard, cursor in sharding["shards"].items()
+        }
+        # Workers read their stores' latest manifests, so uncommitted
+        # tails from a dead writer must be rolled back before queries.
+        self._reconcile_sharded(name)
+        self.server.register_sharded(name, ShardCoordinator(store, self.cluster))
+        return ShardedTable(self, name)
+
+    def sharded_table(self, name: str) -> ShardedTable:
+        """Handle to a sharded table registered in this session."""
+        if name not in self._sharded_stores:
+            raise StorageError(f"table {name!r} is not sharded in this session")
+        return ShardedTable(self, name)
+
+    def close(self) -> None:
+        """Shut down every sharded table's worker fleet.
+
+        Single-store and in-memory tables need no teardown; only sharded
+        tables hold OS processes.  Idempotent, and an atexit reaper kills
+        stragglers anyway, but tests and long-lived callers should close
+        deterministically.
+        """
+        for store in self._sharded_stores.values():
+            store.close()
+
+    def append_sharded(
+        self,
+        table: str,
+        columns: Mapping[str, Any],
+        num_partitions: int | None = None,
+    ) -> AppendStats:
+        """Route one plaintext batch to its shards and append everywhere.
+
+        The sharded counterpart of :meth:`append_rows`: the batch's shard
+        key is encoded and DET-encrypted once, the ring assigns every row
+        an owning shard, and each shard's slice is encrypted against that
+        shard's own row-ID cursor, then appended -- identically, in the
+        same order -- to *every* replica of the shard (appends need the
+        full replica chain alive; queries need one survivor).  The append
+        commits when the sharded sidecar's per-shard cursors are
+        rewritten; a writer killed mid-way leaves uncommitted shard
+        generations the next reconcile rolls back.
+        """
+        state = self._state(table)
+        store = self._sharded_stores.get(table)
+        if store is None:
+            raise StorageError(
+                f"table {table!r} is not sharded; use upload()/append_rows() "
+                "for single-store tables, or shard_table() first"
+            )
+        shard_states = self._shard_states[table]
+        self._reconcile_sharded(table)
+        arrays = {name: np.asarray(col) for name, col in columns.items()}
+        nrows = len(next(iter(arrays.values()))) if arrays else 0
+        if nrows == 0:
+            raise StorageError("append batch is empty")
+        shard_ids = self._route_rows(table, state, arrays)
+        encryptor = EncryptionModule(
+            self._factories[table], paillier=self._paillier, seed=self._seed
+        )
+        column_meta = self._column_meta(state)
+        rollback = {
+            s: (st.next_row_id, st.num_rows) for s, st in shard_states.items()
+        }
+        base_rollback = (state.next_row_id, state.num_rows)
+        encrypt_seconds = 0.0
+        write_seconds = 0.0
+        generation = 0
+        physical_columns = 0
+        try:
+            for shard in sorted(set(shard_ids.tolist())):
+                mask = shard_ids == shard
+                batch = {name: arr[mask] for name, arr in arrays.items()}
+                shard_nrows = int(mask.sum())
+                if num_partitions is None:
+                    target = max(1, self.cluster.config.append_partition_rows)
+                    parts = -(-shard_nrows // target)
+                else:
+                    parts = num_partitions
+                t0 = time.perf_counter()
+                encrypted = encryptor.encrypt_batch(
+                    shard_states[shard], batch, num_partitions=parts
+                )
+                encrypt_seconds += time.perf_counter() - t0
+                physical_columns = len(encrypted.column_names)
+                t0 = time.perf_counter()
+                generation = max(
+                    generation,
+                    store.append_shard(
+                        shard, serialize_table(encrypted), column_meta
+                    ),
+                )
+                write_seconds += time.perf_counter() - t0
+            state.num_rows += nrows
+            # Commit point: the per-shard cursors acknowledge every
+            # generation published above, atomically.
+            self._write_sharded_sidecar(store.root, table)
+        except Exception:
+            for s, (next_id, rows) in rollback.items():
+                shard_states[s].next_row_id = next_id
+                shard_states[s].num_rows = rows
+            state.next_row_id, state.num_rows = base_rollback
+            raise
+        return AppendStats(
+            table=table,
+            rows=nrows,
+            generation=generation,
+            encrypt_seconds=encrypt_seconds,
+            write_seconds=write_seconds,
+            physical_columns=physical_columns,
+        )
+
+    @staticmethod
+    def _shard_key_column(
+        state: ClientTableState, shard_key: str
+    ) -> tuple[str, str | None]:
+        """The shard key's DET ciphertext column (and join group)."""
+        plan = state.enc_schema.plans.get(shard_key)
+        if plan is None:
+            raise PlanningError(
+                f"table {state.schema.name!r} has no column {shard_key!r}"
+            )
+        if isinstance(plan, sc.DetPlan):
+            return plan.cipher_column, plan.join_group
+        if isinstance(plan, (sc.AshePlan, sc.PaillierPlan)) and plan.det_column:
+            return plan.det_column, None
+        raise PlanningError(
+            f"shard key {shard_key!r} carries no DET ciphertext column "
+            f"(plan kind {plan.kind!r}); shard by a det-planned dimension "
+            "so point predicates can route"
+        )
+
+    def _route_rows(
+        self,
+        table: str,
+        state: ClientTableState,
+        arrays: Mapping[str, np.ndarray],
+    ) -> np.ndarray:
+        """Owning shard per batch row, from the shard key's DET tokens."""
+        topo = self._sharded_stores[table].topology
+        values = arrays.get(topo.shard_key)
+        if values is None:
+            raise StorageError(
+                f"append batch is missing the shard key column "
+                f"{topo.shard_key!r}"
+            )
+        spec = next(
+            s for s in state.schema.columns if s.name == topo.shard_key
+        )
+        if spec.dtype == "str":
+            encoder = state.dictionaries.setdefault(
+                topo.shard_key, DictionaryEncoder()
+            )
+            codes = encoder.encode_column(values.tolist())
+        else:
+            codes = values.astype(np.int64)
+        plan = state.enc_schema.plans[topo.shard_key]
+        join_group = plan.join_group if isinstance(plan, sc.DetPlan) else None
+        det = self._factories[table].det(topo.key_column, join_group)
+        return self._sharded_stores[table].ring.owners(det.encrypt_column(codes))
+
+    def _reconcile_sharded(self, table: str) -> None:
+        """Roll back shard generations the sharded sidecar never
+        acknowledged; refuse when this session's view is stale (another
+        writer committed past our cursors -- re-open the table)."""
+        store = self._sharded_stores[table]
+        shard_states = self._shard_states[table]
+        _, _, sharding = ps.read_sharded_sidecar(store.root)
+        for shard, st in shard_states.items():
+            cursor = sharding["shards"].get(shard)
+            committed = cursor["num_rows"] if cursor is not None else 0
+            if committed != st.num_rows:
+                raise StorageError(
+                    f"shard {shard} of {table!r} has {committed} committed "
+                    f"rows but this session attached at {st.num_rows}; "
+                    "another writer advanced the table -- re-open it in a "
+                    "fresh session before appending"
+                )
+            on_disk = store.shard_rows(shard)
+            if on_disk == committed:
+                continue
+            if on_disk < committed:
+                raise StorageError(
+                    f"shard {shard} of {table!r} holds {on_disk} rows but "
+                    f"its sidecar committed {committed}; the store is stale "
+                    "or corrupt"
+                )
+            store.truncate_shard(shard, committed)
+
+    def _write_sharded_sidecar(self, root: str, table: str) -> None:
+        ps.write_sharded_sidecar(
+            root,
+            self._states[table],
+            mode=self.mode,
+            prf_backend=self._factories[table].prf_backend,
+            keychain=self._keychain,
+            topology=self._sharded_stores[table].topology.to_dict(),
+            shard_cursors={
+                shard: {"next_row_id": st.next_row_id, "num_rows": st.num_rows}
+                for shard, st in self._shard_states[table].items()
+            },
+            paillier_n=(
+                self._paillier.n if self._paillier is not None else None
+            ),
+        )
 
     # -- the fluent surface -------------------------------------------------------
 

@@ -26,6 +26,7 @@ from dataclasses import dataclass, replace
 from random import Random
 from typing import Callable, Sequence, TypeVar
 
+from repro.engine import store
 from repro.engine.backends import ExecutionBackend, TimedResult, make_backend
 from repro.engine.metrics import JobMetrics, StageMetrics
 from repro.errors import ExecutionError
@@ -88,6 +89,28 @@ class ClusterConfig:
     workers: int = 0  # pool width; 0 -> one worker per host CPU
     storage_dir: str | None = None  # root for persistent partition stores
     append_partition_rows: int = 65_536  # target rows per appended partition
+    reader_keep_generations: int = 4  # superseded snapshots cached per store
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ExecutionError(
+                f"cluster must have at least one core, got {self.cores}"
+            )
+        if self.workers < 0:
+            raise ExecutionError(
+                f"workers must be 0 (one per host CPU) or positive, "
+                f"got {self.workers}"
+            )
+        if self.append_partition_rows < 1:
+            raise ExecutionError(
+                f"append_partition_rows must be positive, "
+                f"got {self.append_partition_rows}"
+            )
+        if self.reader_keep_generations < 1:
+            raise ExecutionError(
+                f"reader_keep_generations must be at least 1, "
+                f"got {self.reader_keep_generations}"
+            )
 
     def with_cores(self, cores: int) -> "ClusterConfig":
         return replace(self, cores=cores)
@@ -144,6 +167,8 @@ class SimulatedCluster:
         backend: ExecutionBackend | None = None,
     ):
         self.config = config or ClusterConfig()
+        if self.config.reader_keep_generations != store.reader_keep_generations():
+            store.set_reader_keep_generations(self.config.reader_keep_generations)
         self._rng = Random(self.config.seed)
         # query_many() may drive stages from several threads at once; the
         # straggler RNG is the only shared mutable state on this path.

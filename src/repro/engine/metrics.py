@@ -56,6 +56,13 @@ class JobMetrics:
     result_bytes: int = 0
     network_time: float = 0.0  # driver -> client transfer
     client_time: float = 0.0  # decryption + post-processing at the proxy
+    # Sharded scatter-gather accounting (repro.shard): of the table's
+    # ``shards_total`` shards, how many the ring router / zone-map rollups
+    # proved irrelevant and never contacted, and how many shard stages had
+    # to be retried on a replica after their primary worker died.
+    shards_total: int = 0
+    shards_skipped: int = 0
+    failovers: int = 0
 
     def add_stage(self, stage: StageMetrics) -> None:
         self.stages.append(stage)
@@ -103,4 +110,14 @@ class JobMetrics:
             "shuffle_bytes": float(self.shuffle_bytes),
             "partitions_total": float(self.partitions_total),
             "partitions_skipped": float(self.partitions_skipped),
-        }
+        } | (
+            # Shard counters only appear for scatter-gathered jobs, so
+            # single-store summaries keep their exact key set.
+            {
+                "shards_total": float(self.shards_total),
+                "shards_skipped": float(self.shards_skipped),
+                "failovers": float(self.failovers),
+            }
+            if self.shards_total
+            else {}
+        )

@@ -20,10 +20,12 @@ big-ints, for Paillier ciphertext columns), 4=bool.
 
 from __future__ import annotations
 
+import errno
 import io
 import json
 import os
 import struct
+import warnings
 import zlib
 
 import numpy as np
@@ -34,12 +36,51 @@ from repro.errors import ExecutionError
 _MAGIC = b"SBED"
 _VERSION = 1
 
+# Errnos meaning "this filesystem does not support fsync on a directory
+# fd" (overlayfs and some container volume drivers return these).  Not
+# listed -- and therefore still fatal -- are real I/O failures like EIO.
+_FSYNC_UNSUPPORTED = frozenset(
+    e for e in (
+        getattr(errno, "ENOTSUP", None),
+        getattr(errno, "EOPNOTSUPP", None),
+        errno.EINVAL,
+    )
+    if e is not None
+)
+
+#: Count of directory fsyncs skipped because the filesystem rejected
+#: them; tests and operators can check this to see durability degraded.
+FSYNC_DIR_FALLBACKS = 0
+
+_warned_fsync_dirs: set[str] = set()
+
 
 def fsync_dir(path: str) -> None:
-    """fsync a directory so renames/creates inside it are durable."""
+    """fsync a directory so renames/creates inside it are durable.
+
+    Filesystems common in CI containers (overlayfs, some network mounts)
+    reject ``fsync`` on directory fds with ``EINVAL``/``ENOTSUP``.  Losing
+    the directory-entry sync there only weakens durability against power
+    loss -- the rename itself is still atomic -- so degrade to a one-time
+    warning per directory instead of failing the append.
+    """
+    global FSYNC_DIR_FALLBACKS
     fd = os.open(path, os.O_RDONLY)
     try:
         os.fsync(fd)
+    except OSError as exc:
+        if exc.errno not in _FSYNC_UNSUPPORTED:
+            raise
+        FSYNC_DIR_FALLBACKS += 1
+        if path not in _warned_fsync_dirs:
+            _warned_fsync_dirs.add(path)
+            warnings.warn(
+                f"filesystem rejects fsync on directory {path!r} "
+                f"({errno.errorcode.get(exc.errno, exc.errno)}); renames "
+                "remain atomic but are not durable against power loss",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     finally:
         os.close(fd)
 

@@ -1014,7 +1014,26 @@ _READERS_LOCK = threading.Lock()
 _STATE_CACHE: dict[str, tuple[tuple, int, str | None]] = {}
 #: Superseded snapshots to keep mapped per store: enough for in-flight
 #: queries over recent generations without pinning every old map forever.
+#: Per-process; shard workers apply ``ClusterConfig.reader_keep_generations``
+#: through :func:`set_reader_keep_generations` so N co-resident workers
+#: don't multiply the mapped-snapshot footprint.
 _KEEP_GENERATIONS = 4
+
+
+def reader_keep_generations() -> int:
+    """This process's reader-cache retention bound (snapshots per store)."""
+    return _KEEP_GENERATIONS
+
+
+def set_reader_keep_generations(keep: int) -> None:
+    """Set how many superseded snapshots stay cached per store (>= 1)."""
+    global _KEEP_GENERATIONS
+    keep = int(keep)
+    if keep < 1:
+        raise StorageError(
+            f"reader_keep_generations must be at least 1, got {keep}"
+        )
+    _KEEP_GENERATIONS = keep
 
 
 def _manifest_signature(manifest_path: str) -> tuple | None:

@@ -1,0 +1,194 @@
+"""Process-isolated worker transport: spawn, call, kill, detect death.
+
+The sharded tier (:mod:`repro.shard`) runs each shard's server in its
+own OS process so that a crash -- injected by the fail-point machinery
+below, or real -- takes down exactly one shard and the coordinator can
+observe it as a dead pipe rather than a poisoned interpreter.  This
+module is the generic half: a request/reply loop over a
+``multiprocessing`` pipe, with nothing shard-specific in it.
+
+Protocol: the client sends ``(req_id, method, kwargs)``; the server
+replies ``(req_id, "ok", result)`` or ``(req_id, "err", (type_name,
+message))``.  Calls are serialised per handle with a lock, so a handle
+is safe to share across the coordinator's scatter threads (each shard
+gets its own handle, so cross-shard calls still overlap).
+
+Failure model: a worker that dies mid-call surfaces as
+:class:`WorkerDied` (an :class:`~repro.errors.ExecutionError`), raised
+from ``EOFError``/``BrokenPipeError`` or from a dead-process check --
+never as a hang.  Remote exceptions of ordinary kinds are re-raised
+client-side as :class:`RemoteError` carrying the remote type name, so a
+shard-side ``StorageError`` is distinguishable from transport loss.
+
+Fail points: ``arm_exit(method, after)`` arms the *server* loop to call
+``os._exit(70)`` immediately before replying to the ``after``-th
+subsequent invocation of ``method`` -- the same hard-kill style the
+store's crash fail points use, simulating a machine loss at the worst
+moment (work done, reply lost).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+import weakref
+from multiprocessing import Pipe, Process, connection
+from typing import Any, Callable, Mapping
+
+from repro.errors import ExecutionError
+
+#: Exit status for fail-point kills (matches the store's crash points).
+CRASH_STATUS = 70
+
+# Live handles, reaped at interpreter exit.  Workers are non-daemonic
+# (they may run process pools), so multiprocessing's own atexit hook
+# would *join* them -- and a parent that crashed before shutting its
+# workers down would hang on workers still blocked in recv().  This
+# hook registers later, therefore runs earlier (LIFO), and kills every
+# surviving worker first.
+_LIVE_HANDLES: "weakref.WeakSet[WorkerHandle]" = weakref.WeakSet()
+
+
+@atexit.register
+def _reap_workers() -> None:
+    for handle in list(_LIVE_HANDLES):
+        try:
+            handle.kill()
+        except Exception:  # noqa: BLE001 -- best-effort at shutdown
+            pass
+
+
+class WorkerDied(ExecutionError):
+    """The worker process died before replying (transport-level loss)."""
+
+
+class RemoteError(ExecutionError):
+    """The worker raised an ordinary exception while serving a call."""
+
+    def __init__(self, remote_type: str, message: str):
+        super().__init__(f"{remote_type}: {message}")
+        self.remote_type = remote_type
+
+
+def serve(conn: connection.Connection, handlers: Mapping[str, Callable[..., Any]]) -> None:
+    """Run a worker's request loop until ``shutdown`` or a closed pipe.
+
+    ``handlers`` maps method names to callables invoked as
+    ``handler(**kwargs)``.  Two methods are built in: ``__arm_exit__``
+    (install a fail point) and ``shutdown`` (clean exit; a handler named
+    ``shutdown`` runs first if provided).
+    """
+    armed: dict[str, int] = {}
+    while True:
+        try:
+            req_id, method, kwargs = conn.recv()
+        except (EOFError, OSError):
+            return  # coordinator went away; nothing to reply to
+        if method == "__arm_exit__":
+            armed[kwargs["method"]] = int(kwargs["after"])
+            conn.send((req_id, "ok", None))
+            continue
+        handler = handlers.get(method)
+        if handler is None and method != "shutdown":
+            conn.send((req_id, "err", ("ExecutionError", f"unknown method {method!r}")))
+            continue
+        try:
+            result = handler(**kwargs) if handler is not None else None
+        except BaseException as exc:  # noqa: BLE001 -- report, don't die
+            conn.send((req_id, "err", (type(exc).__name__, str(exc))))
+            continue
+        if method in armed:
+            armed[method] -= 1
+            if armed[method] <= 0:
+                os._exit(CRASH_STATUS)  # die with the reply unsent
+        conn.send((req_id, "ok", result))
+        if method == "shutdown":
+            return
+
+
+class WorkerHandle:
+    """Client side of one worker process.
+
+    ``main`` is a top-level function invoked in the child as
+    ``main(conn, **spawn_kwargs)``; it is expected to call :func:`serve`.
+    The parent keeps the other pipe end and drives the protocol.
+    """
+
+    def __init__(self, name: str, main: Callable[..., None], **spawn_kwargs: Any):
+        self.name = name
+        parent, child = Pipe()
+        self._conn = parent
+        self._lock = threading.Lock()
+        self._req_id = 0
+        # Not daemonic: workers may run process-pool backends internally,
+        # and daemonic processes cannot have children.  Orphan safety
+        # comes from the serve loop instead -- when the parent dies, its
+        # pipe end closes and the loop exits on EOF.
+        self.process = Process(
+            target=main,
+            args=(child,),
+            kwargs=spawn_kwargs,
+            name=name,
+            daemon=False,
+        )
+        self.process.start()
+        child.close()  # the child's copy lives in the child
+        _LIVE_HANDLES.add(self)
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def call(self, method: str, /, **kwargs: Any) -> Any:
+        """Invoke ``method`` on the worker and wait for its reply."""
+        with self._lock:
+            self._req_id += 1
+            req_id = self._req_id
+            try:
+                self._conn.send((req_id, method, kwargs))
+                reply_id, status, payload = self._conn.recv()
+            except (EOFError, BrokenPipeError, OSError) as exc:
+                # The pipe fd closes a beat before the child becomes
+                # reapable; join it so ``alive`` reads False (and the
+                # zombie is collected) by the time callers handle this.
+                self.process.join(timeout=5)
+                raise WorkerDied(
+                    f"worker {self.name!r} died during {method!r}"
+                ) from exc
+        if reply_id != req_id:
+            raise ExecutionError(
+                f"worker {self.name!r} replied out of order "
+                f"({reply_id} != {req_id})"
+            )
+        if status == "err":
+            remote_type, message = payload
+            raise RemoteError(remote_type, message)
+        return payload
+
+    def arm_exit(self, method: str, after: int = 1) -> None:
+        """Arm the worker to ``os._exit`` before replying to the
+        ``after``-th subsequent call of ``method`` (fail-point injection)."""
+        self.call("__arm_exit__", method=method, after=after)
+
+    def kill(self) -> None:
+        """Hard-kill the worker (SIGKILL); safe to call twice."""
+        if self.process.is_alive():
+            self.process.kill()
+        self.process.join(timeout=5)
+        self._conn.close()
+
+    def shutdown(self) -> None:
+        """Ask the worker to exit cleanly; falls back to :meth:`kill`."""
+        try:
+            self.call("shutdown")
+        except (WorkerDied, RemoteError, ExecutionError, OSError):
+            pass
+        self.process.join(timeout=5)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(timeout=5)
+        try:
+            self._conn.close()
+        except OSError:
+            pass

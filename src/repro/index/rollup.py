@@ -1,0 +1,125 @@
+"""Shard-level zone-map rollups: one stats dict summarising a whole store.
+
+The sharded execution tier (:mod:`repro.shard`) prunes at a coarser
+granularity than partitions: before scattering a query, the coordinator
+asks *per shard* whether any row could match, using a single rolled-up
+zone map per shard store.  This module merges a store's per-partition
+statistics (:mod:`repro.index.zonemap`) into one dict **in the same
+schema**, so the rollup flows through the existing pruning judgements
+(:func:`repro.index.prune.may_match`) unchanged.
+
+Merging is conservative, mirroring the pruning contract:
+
+- **ORE / plain columns**: the widest [min, max] envelope across
+  partitions (ORE bounds compared with the public Compare).
+- **DET columns**: the union of exact token sets while it stays within
+  :data:`~repro.index.zonemap.TOKEN_SET_MAX`; a larger union degrades to
+  a keyless bloom built over the exact union.  Partitions that only
+  carry blooms cannot be unioned exactly (sizes differ), so the column
+  is dropped from the rollup -- "no artifact" reads as "cannot prune",
+  never as a wrong skip.
+- Any partition **without** statistics poisons the whole rollup
+  (``None``): rows the index never saw could match anything.
+
+Leakage: a rollup is a pure function of the per-partition stats, which
+are themselves recomputable from stored ciphertexts, so the shard tier
+adds nothing beyond the DET/ORE baseline the zone maps already audit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.crypto.ore import OreScheme
+from repro.index.bloom import BloomFilter
+from repro.index.zonemap import TOKEN_SET_MAX
+
+_U64 = np.uint64
+
+
+def _merge_ore(entries: list[dict[str, Any]]) -> dict[str, Any]:
+    lo = tuple(int(w) for w in entries[0]["min"])
+    hi = tuple(int(w) for w in entries[0]["max"])
+    for col in entries[1:]:
+        cand_lo = tuple(int(w) for w in col["min"])
+        cand_hi = tuple(int(w) for w in col["max"])
+        if OreScheme.compare_words(cand_lo, lo) < 0:
+            lo = cand_lo
+        if OreScheme.compare_words(cand_hi, hi) > 0:
+            hi = cand_hi
+    return {"kind": "ore", "min": list(lo), "max": list(hi)}
+
+
+def _merge_plain(entries: list[dict[str, Any]]) -> dict[str, Any]:
+    return {
+        "kind": "plain",
+        "min": min(int(col["min"]) for col in entries),
+        "max": max(int(col["max"]) for col in entries),
+    }
+
+
+def _merge_det(entries: list[dict[str, Any]]) -> dict[str, Any] | None:
+    """Union of exact token sets, degrading to a bloom past the cap.
+
+    Returns ``None`` when any partition carries only a bloom: blooms of
+    different sizes cannot be unioned, and guessing would risk a false
+    "provably absent" -- the one answer pruning must never get wrong.
+    """
+    union: set[int] = set()
+    for col in entries:
+        if "tokens" not in col:
+            return None
+        union.update(int(t) for t in col["tokens"])
+    if len(union) <= TOKEN_SET_MAX:
+        return {"kind": "det", "tokens": sorted(union)}
+    tokens = np.asarray(sorted(union), dtype=_U64)
+    bloom = BloomFilter.for_capacity(tokens.size)
+    bloom.add_tokens(tokens)
+    return {"kind": "det", "bloom": bloom.to_dict()}
+
+
+def rollup_zone_maps(
+    zone_maps: Sequence[dict[str, Any] | None] | None,
+) -> dict[str, Any] | None:
+    """Merge per-partition stats dicts into one shard-level stats dict.
+
+    The result uses the exact manifest schema of
+    :func:`repro.index.zonemap.build_partition_stats`, so it can be fed
+    straight into :func:`repro.index.prune.may_match` (and friends) as if
+    it described one giant partition.  Returns ``None`` when nothing can
+    be asserted: no partitions, or any partition without statistics.
+    """
+    if not zone_maps:
+        return None
+    covered: list[dict[str, Any]] = []
+    for stats in zone_maps:
+        if stats is None:
+            return None
+        covered.append(stats)
+    rows = sum(int(z.get("rows", 0)) for z in covered)
+    nulls = sum(int(z.get("nulls", 0)) for z in covered)
+    # Only columns bounded in *every* non-empty partition can be rolled
+    # up; a single uncovered partition could hold the matching row.
+    nonempty = [z for z in covered if int(z.get("rows", 0)) > 0]
+    columns: dict[str, Any] = {}
+    if nonempty:
+        names = set(nonempty[0].get("columns", {}))
+        for z in nonempty[1:]:
+            names &= set(z.get("columns", {}))
+        for name in sorted(names):
+            entries = [z["columns"][name] for z in nonempty]
+            kinds = {col.get("kind") for col in entries}
+            if len(kinds) != 1:
+                continue
+            kind = kinds.pop()
+            if kind == "ore":
+                columns[name] = _merge_ore(entries)
+            elif kind == "plain":
+                columns[name] = _merge_plain(entries)
+            elif kind == "det":
+                merged = _merge_det(entries)
+                if merged is not None:
+                    columns[name] = merged
+    return {"rows": rows, "nulls": nulls, "columns": columns}

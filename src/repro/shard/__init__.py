@@ -1,0 +1,27 @@
+"""Sharded multi-node execution (scatter-gather over worker processes).
+
+The paper runs Seabed on a Spark cluster where data is partitioned
+across machines and queries scatter to the partitions' hosts.  This
+package reproduces that dimension with real process isolation: a table
+is split across N shard workers -- each its own OS process owning a
+disjoint generation-logged partition store -- placed on a consistent-
+hash ring with R-way replica chains.  A coordinator routes DET
+point/IN predicates to owning shards, prunes shards through zone-map
+rollups, scatter-gathers partial aggregates, and retries a dead
+worker's stage on a replica, keeping results bit-identical to
+single-store execution.
+"""
+
+from repro.shard.coordinator import ShardCoordinator, ShardedStore, ShardTopology
+from repro.shard.ring import HashRing, hash_key
+from repro.shard.worker import shard_alias, shard_worker_main
+
+__all__ = [
+    "HashRing",
+    "ShardCoordinator",
+    "ShardTopology",
+    "ShardedStore",
+    "hash_key",
+    "shard_alias",
+    "shard_worker_main",
+]

@@ -1,0 +1,582 @@
+"""Scatter-gather coordination over process-isolated shard workers.
+
+Two layers live here:
+
+- :class:`ShardedStore` -- the topology half.  It owns the directory
+  tree (``<root>/node-<n>/shard-<s>/``), the consistent-hash ring that
+  places shards on nodes (R-way replica chains), and one
+  :class:`~repro.engine.transport.WorkerHandle` per node.  Storage
+  operations (append / truncate / compact) address *all live replicas*
+  of a shard, in the same order with the same batches, so replica
+  stores stay bit-identical and failover needs no reconciliation.
+- :class:`ShardCoordinator` -- the query half.  It routes a
+  :class:`~repro.core.server.ServerQuery` to the shards that could hold
+  matching rows (DET point/IN predicates on the shard key resolve to
+  owners through the ring; per-shard zone-map rollups prune ORE ranges
+  and everything else), scatters the survivors across worker processes,
+  retries a shard's stage on the next replica when its worker dies
+  mid-call, and merges the encrypted partial aggregates exactly once --
+  so results are bit-identical to single-store execution.
+
+``JobMetrics.shards_total`` / ``shards_skipped`` / ``failovers`` record
+the routing and the recoveries; per-stage metrics from the workers are
+folded together (task times concatenated, makespans combined as a max,
+since shard nodes run in parallel).
+
+Leakage: routing consults only DET tokens and the zone-map rollups --
+both already part of the DET/ORE leakage baseline the single-store
+pruning index exposes.  Which shards a query touches is exactly the
+partition-access pattern the paper's server already sees.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core import server as srv
+from repro.engine.cluster import ClusterConfig, SimulatedCluster
+from repro.engine.metrics import JobMetrics, StageMetrics
+from repro.engine.transport import WorkerDied, WorkerHandle
+from repro.errors import ExecutionError
+from repro.index import prune
+from repro.shard.ring import HashRing
+from repro.shard.worker import shard_worker_main
+
+#: Row-ID stride between shards: shard ``s``'s IDs start at ``s << 44``.
+#: Each shard's store keeps the contiguous-ID invariant (ASHE pads
+#: telescope, ID lists range-compress) while shard ID spaces stay
+#: disjoint, so gathered scan rows and ID lists never collide.
+SHARD_ID_STRIDE = 1 << 44
+
+
+@dataclass(frozen=True)
+class ShardTopology:
+    """The durable description of one sharded table's layout.
+
+    ``shard_key`` is the logical column whose DET tokens place rows;
+    ``key_column`` is its physical ciphertext column (what filters and
+    stored rows actually carry).  Shards and nodes are both numbered
+    ``0..num_shards-1``: shard ``s``'s primary is node ``s`` under the
+    identity placement of :meth:`HashRing.replica_chain`.
+    """
+
+    table: str
+    shard_key: str
+    key_column: str
+    num_shards: int
+    replicas: int = 1
+    vnodes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ExecutionError(
+                f"a sharded table needs at least one shard, got {self.num_shards}"
+            )
+        if not 1 <= self.replicas <= self.num_shards:
+            raise ExecutionError(
+                f"replicas must be in [1, {self.num_shards}], got {self.replicas}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "table": self.table,
+            "shard_key": self.shard_key,
+            "key_column": self.key_column,
+            "num_shards": self.num_shards,
+            "replicas": self.replicas,
+            "vnodes": self.vnodes,
+        }
+
+    @staticmethod
+    def from_dict(data: dict[str, Any]) -> "ShardTopology":
+        return ShardTopology(
+            table=str(data["table"]),
+            shard_key=str(data["shard_key"]),
+            key_column=str(data["key_column"]),
+            num_shards=int(data["num_shards"]),
+            replicas=int(data["replicas"]),
+            vnodes=int(data["vnodes"]),
+        )
+
+
+class ShardedStore:
+    """Worker processes plus the ring that places shards on them."""
+
+    def __init__(
+        self,
+        root: str,
+        topology: ShardTopology,
+        config: ClusterConfig | None = None,
+    ):
+        self.root = os.path.abspath(root)
+        self.topology = topology
+        self.config = config or ClusterConfig()
+        self.ring = HashRing(
+            list(range(topology.num_shards)),
+            vnodes=topology.vnodes,
+            replicas=topology.replicas,
+        )
+        self.dead: set[int] = set()
+        self._lock = threading.Lock()
+        self._rollups: dict[int, tuple[int, dict | None]] = {}
+        self.workers: dict[int, WorkerHandle] = {}
+        worker_config = replace(self.config, storage_dir=None)
+        for node in range(topology.num_shards):
+            node_dir = self.node_dir(node)
+            os.makedirs(node_dir, exist_ok=True)
+            self.workers[node] = WorkerHandle(
+                f"{topology.table}-node-{node}",
+                shard_worker_main,
+                node_id=node,
+                node_dir=node_dir,
+                config=worker_config,
+            )
+
+    # -- topology ----------------------------------------------------------
+
+    def node_dir(self, node: int) -> str:
+        return os.path.join(self.root, f"node-{node}")
+
+    @property
+    def shards(self) -> range:
+        return range(self.topology.num_shards)
+
+    def replica_nodes(self, shard: int) -> tuple[int, ...]:
+        """The nodes hosting ``shard``, primary first (failover order)."""
+        return self.ring.replica_chain(shard)  # type: ignore[return-value]
+
+    def hosted_shards(self, node: int) -> list[int]:
+        return [s for s in self.shards if node in self.replica_nodes(s)]
+
+    def mark_dead(self, node: int) -> None:
+        with self._lock:
+            self.dead.add(node)
+
+    # -- fault injection ---------------------------------------------------
+
+    def kill_node(self, node: int) -> None:
+        """Hard-kill one worker process (the store notes it as dead)."""
+        self.workers[node].kill()
+        self.mark_dead(node)
+
+    def arm_exit(self, node: int, method: str, after: int = 1) -> None:
+        """Arm a fail point: the node dies mid-``method`` (reply unsent)."""
+        self.workers[node].arm_exit(method, after)
+
+    # -- replicated storage operations -------------------------------------
+
+    def append_shard(
+        self, shard: int, blob: bytes, column_meta: dict[str, str] | None
+    ) -> int:
+        """Append one encrypted batch to every replica of ``shard``.
+
+        Appends require the full replica chain alive: a write acked by
+        only part of the chain would fork the replicas.  (Queries, by
+        contrast, need just one live replica.)
+        """
+        generation = 0
+        for node in self.replica_nodes(shard):
+            if node in self.dead:
+                raise ExecutionError(
+                    f"cannot append to shard {shard}: replica node {node} is "
+                    "dead and appends require the full replica chain"
+                )
+            try:
+                generation = self.workers[node].call(
+                    "append",
+                    table=self.topology.table,
+                    shard_id=shard,
+                    blob=blob,
+                    column_meta=column_meta,
+                )
+            except WorkerDied as exc:
+                self.mark_dead(node)
+                raise ExecutionError(
+                    f"replica node {node} died while appending to shard "
+                    f"{shard}; appends require the full replica chain"
+                ) from exc
+        with self._lock:
+            self._rollups.pop(shard, None)
+        return generation
+
+    def shard_rows(self, shard: int) -> int:
+        result, _ = self.call_shard(
+            shard, "rows", table=self.topology.table, shard_id=shard
+        )
+        return int(result)
+
+    def truncate_shard(self, shard: int, num_rows: int) -> int:
+        """Roll back uncommitted generations on every live replica."""
+        dropped = 0
+        for node in self.replica_nodes(shard):
+            if node in self.dead:
+                continue
+            dropped = self.workers[node].call(
+                "truncate",
+                table=self.topology.table,
+                shard_id=shard,
+                num_rows=num_rows,
+            )
+        with self._lock:
+            self._rollups.pop(shard, None)
+        return int(dropped)
+
+    def compact(self, target_rows: int | None = None) -> dict[int, dict | None]:
+        """Compact every shard on every live replica."""
+        out: dict[int, dict | None] = {}
+        for shard in self.shards:
+            stats: dict | None = None
+            for node in self.replica_nodes(shard):
+                if node in self.dead:
+                    continue
+                stats = self.workers[node].call(
+                    "compact",
+                    table=self.topology.table,
+                    shard_id=shard,
+                    target_rows=target_rows,
+                )
+            out[shard] = stats
+            with self._lock:
+                self._rollups.pop(shard, None)
+        return out
+
+    def rollup(self, shard: int) -> dict | None:
+        """The shard's zone-map rollup (cached until the shard mutates)."""
+        with self._lock:
+            cached = self._rollups.get(shard)
+        if cached is not None:
+            return cached[1]
+        for node in self.replica_nodes(shard):
+            if node in self.dead:
+                continue
+            try:
+                generation, stats = self.workers[node].call(
+                    "rollup", table=self.topology.table, shard_id=shard
+                )
+            except WorkerDied:
+                self.mark_dead(node)
+                continue
+            with self._lock:
+                self._rollups[shard] = (int(generation), stats)
+            return stats
+        return None  # no live replica answered; cannot prune
+
+    # -- failover-aware calls ----------------------------------------------
+
+    def call_shard(self, shard: int, method: str, **kwargs: Any) -> tuple[Any, int]:
+        """Call ``method`` on the first replica of ``shard`` that answers.
+
+        Walks the replica chain; a worker dying *during* the call marks
+        its node dead and retries the stage on the next replica.  Returns
+        ``(result, failovers)`` where ``failovers`` counts mid-call
+        deaths (pre-marked dead nodes are skipped without counting).
+        """
+        failovers = 0
+        last: WorkerDied | None = None
+        for node in self.replica_nodes(shard):
+            if node in self.dead:
+                continue
+            try:
+                return self.workers[node].call(method, **kwargs), failovers
+            except WorkerDied as exc:
+                self.mark_dead(node)
+                failovers += 1
+                last = exc
+        raise ExecutionError(
+            f"all {self.topology.replicas} replica(s) of shard {shard} "
+            f"are dead; cannot execute {method!r}"
+        ) from last
+
+    def close(self) -> None:
+        """Shut every worker down (idempotent)."""
+        for node, handle in self.workers.items():
+            if node in self.dead:
+                handle.kill()
+            else:
+                handle.shutdown()
+        self.dead.update(self.workers)
+
+
+class ShardCoordinator:
+    """Routes, scatters, fails over, and merges -- the query half."""
+
+    def __init__(
+        self,
+        store: ShardedStore,
+        cluster: SimulatedCluster | None = None,
+        pruning: bool = True,
+    ):
+        self.store = store
+        self.cluster = cluster or SimulatedCluster(store.config)
+        self.pruning = pruning
+
+    # -- routing and pruning -----------------------------------------------
+
+    def route_filter(self, filt: Any) -> set[int] | None:
+        """Shards that could hold matching rows, or ``None`` for all.
+
+        Only predicates on the shard-key ciphertext column route: rows
+        are placed by that column's DET token, so an equality on any
+        other column says nothing about shard membership.
+        """
+        key_column = self.store.topology.key_column
+        if isinstance(filt, srv.DetEq):
+            if filt.column != key_column or filt.negate:
+                return None
+            return {int(self.store.ring.owner(filt.token))}
+        if isinstance(filt, srv.DetIn):
+            if filt.column != key_column:
+                return None
+            return {int(self.store.ring.owner(t)) for t in filt.tokens}
+        if isinstance(filt, srv.FilterAnd):
+            out: set[int] | None = None
+            for child in filt.children:
+                sub = self.route_filter(child)
+                if sub is not None:
+                    out = sub if out is None else out & sub
+            return out
+        if isinstance(filt, srv.FilterOr):
+            union: set[int] = set()
+            for child in filt.children:
+                sub = self.route_filter(child)
+                if sub is None:
+                    return None  # one unroutable branch widens to all
+                union |= sub
+            return union
+        return None  # ORE/plain/NOT predicates do not restrict placement
+
+    def _empty(self, shard: int) -> bool:
+        """True when the shard's rollup proves it holds zero rows (the
+        ring never routed a row there, or every row was truncated)."""
+        rollup = self.store.rollup(shard)
+        return rollup is not None and rollup.get("rows", 1) == 0
+
+    def _surviving_shards(self, q: srv.ServerQuery) -> list[int]:
+        """Ring routing plus rollup pruning (both conservative)."""
+        survivors = self.route_filter(q.filter) if q.filter is not None else None
+        shards = sorted(survivors) if survivors is not None else list(self.store.shards)
+        if not self.pruning:
+            return shards
+        shards = [s for s in shards if not self._empty(s)]
+        if q.filter is not None:
+            shards = [
+                s
+                for s in shards
+                if (rollup := self.store.rollup(s)) is None
+                or prune.may_match(rollup, q.filter)
+            ]
+        elif q.group_by is None and q.aggs and all(
+            isinstance(a, srv.OreExtreme) for a in q.aggs
+        ):
+            # Unfiltered min/max: only shards whose rollup bound ties the
+            # global winner can host it (same judgement as partitions).
+            keep = prune.extreme_candidates(
+                [self.store.rollup(s) for s in shards], q.aggs
+            )
+            if keep is not None:
+                shards = [s for s, k in zip(shards, keep) if k]
+        return shards
+
+    # -- metrics folding ---------------------------------------------------
+
+    def _absorb(self, metrics: JobMetrics, responses: Sequence[srv.ServerResponse]) -> None:
+        """Fold worker-side metrics into the coordinator's job.
+
+        Shard nodes run concurrently: per-stage makespans and wall times
+        combine as a max, task times and partition counts as sums.  The
+        workers' result transfers become the coordinator's gather volume
+        (shuffle), paid once at the slowest shard's pace.
+        """
+        by_name: dict[str, StageMetrics] = {s.name: s for s in metrics.stages}
+        gather_time = 0.0
+        for resp in responses:
+            wm = resp.metrics
+            for s in wm.stages:
+                have = by_name.get(s.name)
+                if have is None:
+                    have = StageMetrics(
+                        name=s.name, task_times=[], makespan=0.0, wall_time=0.0
+                    )
+                    by_name[s.name] = have
+                    metrics.add_stage(have)
+                have.task_times.extend(s.task_times)
+                have.makespan = max(have.makespan, s.makespan)
+                have.wall_time = max(have.wall_time, s.wall_time)
+                have.partitions_total += s.partitions_total
+                have.partitions_skipped += s.partitions_skipped
+            metrics.shuffle_bytes += wm.shuffle_bytes + wm.result_bytes
+            gather_time = max(gather_time, wm.shuffle_time + wm.network_time)
+        metrics.shuffle_time += gather_time
+
+    # -- scatter-gather execution ------------------------------------------
+
+    def _scatter(
+        self,
+        shards: Sequence[int],
+        metrics: JobMetrics,
+        method: str,
+        kwargs_for: Any,
+    ) -> list[srv.ServerResponse]:
+        """Run one RPC per shard concurrently, with replica failover."""
+        if not shards:
+            return []
+        with ThreadPoolExecutor(max_workers=len(shards)) as pool:
+            futures = [
+                pool.submit(self.store.call_shard, s, method, **kwargs_for(s))
+                for s in shards
+            ]
+            outcomes = [f.result() for f in futures]
+        responses = []
+        for response, failovers in outcomes:
+            responses.append(response)
+            metrics.failovers += failovers
+        return responses
+
+    def execute(self, q: srv.ServerQuery) -> srv.ServerResponse:
+        if q.join is not None:
+            raise ExecutionError(
+                "joins are not supported on sharded tables: the build side "
+                "would have to be broadcast across shard processes"
+            )
+        metrics = self.cluster.new_job()
+        shards = self._surviving_shards(q)
+        metrics.shards_total = self.store.topology.num_shards
+        metrics.shards_skipped = metrics.shards_total - len(shards)
+        responses = self._scatter(
+            shards, metrics, "execute", lambda s: {"shard_id": s, "q": q}
+        )
+        self._absorb(metrics, responses)
+        if q.group_by is None:
+            response = self._merge_flat(q, responses, metrics)
+        else:
+            response = self._merge_grouped(q, responses, metrics)
+        response.metrics = metrics
+        self.cluster.account_result_transfer(metrics, response.payload_bytes)
+        return response
+
+    def _merge_flat(
+        self,
+        q: srv.ServerQuery,
+        responses: list[srv.ServerResponse],
+        metrics: JobMetrics,
+    ) -> srv.ServerResponse:
+        def merge() -> dict[str, Any]:
+            out: dict[str, Any] = {}
+            for agg in q.aggs:
+                pieces: list[Any] = []
+                for resp in responses:  # shard-id order == row-id order
+                    pieces.extend(
+                        p for p in resp.flat.get(agg.alias, []) if p is not None
+                    )
+                out[agg.alias] = srv.merge_payloads(agg, pieces)
+            return out
+
+        flat = self.cluster.run_driver("gather-merge", merge, metrics)
+        payload_bytes = sum(
+            srv._payload_nbytes(v) for v in flat.values() if v is not None
+        )
+        return srv.ServerResponse(
+            kind="flat", flat=flat, payload_bytes=payload_bytes
+        )
+
+    def _merge_grouped(
+        self,
+        q: srv.ServerQuery,
+        responses: list[srv.ServerResponse],
+        metrics: JobMetrics,
+    ) -> srv.ServerResponse:
+        def merge() -> list[tuple[int, int, dict[str, Any]]]:
+            combined: dict[tuple[int, int], list[dict[str, Any]]] = {}
+            for resp in responses:
+                for key, sfx, per_agg in resp.groups:
+                    combined.setdefault((key, sfx), []).append(per_agg)
+            groups: list[tuple[int, int, dict[str, Any]]] = []
+            for (key, sfx), entries in combined.items():
+                per: dict[str, Any] = {}
+                for agg in q.aggs:
+                    pieces = [
+                        e[agg.alias] for e in entries
+                        if e.get(agg.alias) is not None
+                    ]
+                    per[agg.alias] = srv.merge_payloads(agg, pieces)
+                groups.append((key, sfx, per))
+            return groups
+
+        groups = self.cluster.run_driver("gather-merge", merge, metrics)
+        payload_bytes = sum(
+            9 + sum(
+                srv._payload_nbytes(v) for v in per.values() if v is not None
+            )
+            for _, _, per in groups
+        )
+        return srv.ServerResponse(
+            kind="grouped", groups=groups, payload_bytes=payload_bytes
+        )
+
+    def scan(
+        self,
+        table_name: str,
+        columns: Sequence[str],
+        filt: Any = None,
+    ) -> srv.ServerResponse:
+        metrics = self.cluster.new_job()
+        columns = tuple(columns)
+        survivors = self.route_filter(filt) if filt is not None else None
+        shards = sorted(survivors) if survivors is not None else list(self.store.shards)
+        populated = [s for s in self.store.shards if not self._empty(s)]
+        if not populated:
+            raise ExecutionError(
+                f"sharded table {self.store.topology.table!r} holds no rows; "
+                "nothing to scan"
+            )
+        shards = [s for s in shards if s in set(populated)]
+        if self.pruning and filt is not None:
+            shards = [
+                s
+                for s in shards
+                if (rollup := self.store.rollup(s)) is None
+                or prune.may_match(rollup, filt)
+            ]
+        if not shards:
+            # Keep one populated shard so the reply carries correctly
+            # typed empty columns (its zone maps prune everything locally).
+            shards = [populated[0]]
+        metrics.shards_total = self.store.topology.num_shards
+        metrics.shards_skipped = metrics.shards_total - len(shards)
+        responses = self._scatter(
+            shards,
+            metrics,
+            "scan",
+            lambda s: {
+                "table": self.store.topology.table,
+                "shard_id": s,
+                "columns": columns,
+                "filt": filt,
+            },
+        )
+        responses = [r for r in responses if r is not None]
+        self._absorb(metrics, responses)
+
+        def merge() -> tuple[dict[str, np.ndarray], np.ndarray]:
+            # Shard-id order: shard row-ID ranges are strided by shard
+            # index, so this concatenation is also global row-ID order.
+            cols = {
+                c: np.concatenate([r.flat["columns"][c] for r in responses])
+                for c in columns
+            }
+            ids = np.concatenate([r.flat["ids"] for r in responses])
+            return cols, ids
+
+        cols, ids = self.cluster.run_driver("gather-merge", merge, metrics)
+        payload_bytes = sum(resp.payload_bytes for resp in responses)
+        response = srv.ServerResponse(kind="scan", payload_bytes=payload_bytes)
+        response.flat = {"columns": cols, "ids": ids}
+        response.metrics = metrics
+        self.cluster.account_result_transfer(metrics, payload_bytes)
+        return response

@@ -1,0 +1,216 @@
+"""The shard worker: one process, one node directory, N hosted shards.
+
+A worker is a full (if small) Seabed server in its own OS process: it
+owns a node directory containing one generation-logged partition store
+per hosted shard -- the shards whose replica chain includes this node --
+and serves the coordinator's RPCs over the :mod:`repro.engine.transport`
+pipe.  Process isolation is the point: a crash (injected or real) kills
+exactly one node's stores out of the table, and the coordinator observes
+a dead pipe, not a corrupted in-process state.
+
+Stores are registered on the worker's local :class:`SeabedServer` under
+the alias ``{table}::shard{sid}`` because one node hosts several shards
+of the *same* table (its primaries plus replicas) and the server
+registry is keyed by name.  The alias is also the name written into each
+shard store's manifest, so re-attaching after a restart needs no
+rename.  Incoming :class:`ServerQuery` objects reference the base table
+name; the worker rewrites them to the alias before executing.
+
+Everything data-bearing that crosses the pipe is ciphertext: append
+batches arrive as SBED-serialised encrypted tables, queries carry
+DET/ORE tokens, and replies carry encrypted partial aggregates -- the
+worker holds no keys, exactly like the paper's untrusted cluster nodes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import shutil
+from multiprocessing import connection
+from typing import Any, Sequence
+
+from repro.core import server as srv
+from repro.engine import store as store_mod
+from repro.engine import transport
+from repro.engine.cluster import ClusterConfig, SimulatedCluster
+from repro.engine.storage import deserialize_table
+from repro.engine.table import Table
+from repro.errors import StorageError
+from repro.index.rollup import rollup_zone_maps
+
+
+def shard_alias(table: str, shard_id: int) -> str:
+    """Registry/manifest name of one shard's slice of ``table``."""
+    return f"{table}::shard{shard_id}"
+
+
+class _ShardWorker:
+    """Handler object behind one worker process's serve loop."""
+
+    def __init__(self, node_id: int, node_dir: str, config: ClusterConfig):
+        self.node_id = node_id
+        self.node_dir = node_dir
+        self.cluster = SimulatedCluster(config)
+        self.server = srv.SeabedServer(self.cluster, pruning=True)
+
+    # -- store plumbing ----------------------------------------------------
+
+    def _store_dir(self, shard_id: int) -> str:
+        return os.path.join(self.node_dir, f"shard-{shard_id}")
+
+    def _register(self, table: str, shard_id: int) -> Table:
+        opened = store_mod.open_store(self._store_dir(shard_id))
+        self.server.register(opened)
+        return opened
+
+    def _has_store(self, shard_id: int) -> bool:
+        """A shard the ring never routed a row to has no store at all --
+        an *empty shard*, not an error (four distinct shard-key values
+        can land on three of four shards)."""
+        path = self._store_dir(shard_id)
+        return os.path.exists(os.path.join(path, store_mod.MANIFEST_NAME))
+
+    def _ensure(self, table: str, shard_id: int) -> str:
+        """Alias of the shard's table, attaching the store lazily."""
+        alias = shard_alias(table, shard_id)
+        if self.server.get(alias) is None:
+            if not self._has_store(shard_id):
+                raise StorageError(
+                    f"node {self.node_id} hosts no store for shard "
+                    f"{shard_id} of table {table!r}"
+                )
+            self._register(table, shard_id)
+        return alias
+
+    # -- RPC handlers ------------------------------------------------------
+
+    def ping(self) -> int:
+        return self.node_id
+
+    def append(
+        self,
+        table: str,
+        shard_id: int,
+        blob: bytes,
+        column_meta: dict[str, str] | None,
+    ) -> int:
+        """Write or append one encrypted batch into the shard's store.
+
+        The batch arrives SBED-serialised under the base table name and
+        is re-badged to the shard alias so the store's own name check
+        (and any later re-attach) stays coherent per shard.
+        """
+        batch = deserialize_table(blob)
+        alias = shard_alias(table, shard_id)
+        batch = Table(alias, batch.partitions)
+        path = self._store_dir(shard_id)
+        if os.path.exists(os.path.join(path, store_mod.MANIFEST_NAME)):
+            generation = store_mod.append_store(batch, path, column_meta)
+        else:
+            store_mod.write_store(batch, path, column_meta)
+            generation = store_mod.FIRST_GENERATION
+        self._register(table, shard_id)
+        return generation
+
+    def rows(self, table: str, shard_id: int) -> int:
+        path = self._store_dir(shard_id)
+        if not os.path.exists(os.path.join(path, store_mod.MANIFEST_NAME)):
+            return 0
+        return store_mod.store_num_rows(path)
+
+    def truncate(self, table: str, shard_id: int, num_rows: int) -> int:
+        """Roll back uncommitted append generations (crash recovery).
+
+        Rolling back to zero rows -- a writer died during this shard's
+        very first append -- removes the store entirely: a generation
+        log cannot be truncated below its first generation, and an
+        empty store is exactly "no store yet".
+        """
+        path = self._store_dir(shard_id)
+        if not os.path.exists(os.path.join(path, store_mod.MANIFEST_NAME)):
+            return 0
+        if num_rows == 0:
+            dropped = len(store_mod.store_generations(path))
+            store_mod._evict_cached(os.path.abspath(path))
+            shutil.rmtree(path)
+            self.server.unregister(shard_alias(table, shard_id))
+            return dropped
+        dropped = store_mod.truncate_store(path, num_rows)
+        if dropped:
+            self._register(table, shard_id)
+        return dropped
+
+    def compact(
+        self, table: str, shard_id: int, target_rows: int | None = None
+    ) -> dict | None:
+        stats = store_mod.compact_store(self._store_dir(shard_id), target_rows)
+        if stats is not None:
+            self._register(table, shard_id)
+        return stats
+
+    def rollup(self, table: str, shard_id: int) -> tuple[int, dict | None]:
+        """(generation, shard-level zone-map rollup) for coordinator
+        pruning; the generation keys the coordinator's rollup cache.
+        An empty shard reports a zero-row rollup: the strongest prune."""
+        if not self._has_store(shard_id):
+            return 0, {"rows": 0, "nulls": 0, "columns": {}}
+        self._ensure(table, shard_id)
+        rdr = store_mod.reader(self._store_dir(shard_id))
+        return rdr.generation, rollup_zone_maps(rdr.zone_maps)
+
+    def execute(self, shard_id: int, q: srv.ServerQuery) -> srv.ServerResponse:
+        """Partial aggregates over this node's copy of one shard."""
+        if not self._has_store(shard_id):
+            # Empty shard: nothing to aggregate, the partial is vacuous.
+            if q.group_by is not None:
+                return srv.ServerResponse(kind="grouped", groups=[])
+            return srv.ServerResponse(
+                kind="partial", flat={agg.alias: [] for agg in q.aggs}
+            )
+        alias = self._ensure(q.table, shard_id)
+        return self.server.execute_partial(dataclasses.replace(q, table=alias))
+
+    def scan(
+        self,
+        table: str,
+        shard_id: int,
+        columns: Sequence[str],
+        filt: Any,
+    ) -> srv.ServerResponse | None:
+        """``None`` for an empty shard: with no store there is no dtype
+        to shape even a zero-row reply, so the coordinator drops it."""
+        if not self._has_store(shard_id):
+            return None
+        alias = self._ensure(table, shard_id)
+        return self.server.scan(alias, columns, filt)
+
+    def shutdown(self) -> None:
+        self.cluster.close()
+
+    def handlers(self) -> dict[str, Any]:
+        return {
+            "ping": self.ping,
+            "append": self.append,
+            "rows": self.rows,
+            "truncate": self.truncate,
+            "compact": self.compact,
+            "rollup": self.rollup,
+            "execute": self.execute,
+            "scan": self.scan,
+            "shutdown": self.shutdown,
+        }
+
+
+def shard_worker_main(
+    conn: connection.Connection,
+    node_id: int,
+    node_dir: str,
+    config: ClusterConfig,
+) -> None:
+    """Process entry point: build the worker and serve until shutdown."""
+    worker = _ShardWorker(node_id, node_dir, config)
+    try:
+        transport.serve(conn, worker.handlers())
+    finally:
+        worker.cluster.close()

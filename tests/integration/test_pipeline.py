@@ -131,10 +131,20 @@ class TestMetrics:
         sql = "SELECT sum(amount) FROM sales"
         # Full-table aggregation: Seabed's range-encoded ID list is tiny;
         # Paillier returns one 512-bit ciphertext.  Both are small, but the
-        # paper's key claim is server compute, checked below.
+        # paper's key claim is server compute, checked below.  Compare the
+        # measured task compute, not server_time: the simulated makespan
+        # adds a shared scheduling constant that swamps the ~10x compute
+        # gap at this scale and makes the comparison load-sensitive.
+        def server_compute(result):
+            return sum(
+                stage.total_cpu
+                for metrics in result.request_metrics
+                for stage in metrics.stages
+            )
+
         r_seabed = seabed.query(sql)
         r_paillier = paillier.query(sql)
-        assert r_seabed.server_time < r_paillier.server_time
+        assert server_compute(r_seabed) < server_compute(r_paillier)
 
     def test_group_inflation_changes_request(self, dataset):
         client = build_client("seabed", dataset)

@@ -1,0 +1,165 @@
+"""Replica failover: killed shard workers must not change any answer.
+
+Fail points kill one worker process mid-RPC (the reply is never sent);
+the coordinator must detect the dead pipe, mark the node, retry the
+shard's stage on the next replica, and still return exactly the
+single-store answer -- with ``JobMetrics.failovers`` recording the
+recovery.  Appends, by contrast, must refuse to proceed with any dead
+replica in the chain (a partially acked write would fork the replicas).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.schema import ColumnSpec, TableSchema
+from repro.core.session import SeabedSession
+from repro.engine.cluster import ClusterConfig, SimulatedCluster
+from repro.errors import ExecutionError
+
+REGIONS = ["ber", "del", "lag", "lim", "osl", "rio", "sfo", "tok"]
+KEY = b"f" * 32
+N = 500
+
+SCHEMA = TableSchema("sales", [
+    ColumnSpec("region", dtype="str", sensitive=True),
+    ColumnSpec("day", dtype="int", sensitive=True, nbits=16),
+    ColumnSpec("amount", dtype="int", sensitive=True, nbits=32),
+])
+SAMPLE_QUERIES = [
+    "SELECT sum(amount) FROM sales WHERE region = 'rio'",
+    "SELECT region, sum(amount), count(*) FROM sales GROUP BY region",
+    "SELECT sum(amount) FROM sales WHERE day > 10",
+    "SELECT min(amount), max(amount) FROM sales",
+]
+GROUPED = "SELECT region, sum(amount), count(*) FROM sales GROUP BY region"
+
+
+def _batch(seed=11):
+    rng = np.random.default_rng(seed)
+    return {
+        "region": rng.choice(REGIONS, N).tolist(),
+        "day": rng.integers(0, 60, N),
+        "amount": rng.integers(0, 900, N),
+    }
+
+
+def _rows_key(row):
+    return sorted(row.items(), key=lambda kv: kv[0])
+
+
+def _sorted_rows(result):
+    return sorted(result.rows, key=_rows_key)
+
+
+@pytest.fixture
+def sessions(tmp_path):
+    """(sharded session, its table handle, single-store baseline)."""
+    baseline = SeabedSession(master_key=KEY, seed=2)
+    baseline.create_plan(SCHEMA, SAMPLE_QUERIES)
+    baseline.upload("sales", _batch())
+
+    config = ClusterConfig(storage_dir=str(tmp_path), workers=2)
+    session = SeabedSession(
+        master_key=KEY, seed=2, cluster=SimulatedCluster(config)
+    )
+    session.create_plan(SCHEMA, SAMPLE_QUERIES)
+    table = session.shard_table("sales", "region", num_shards=4, replicas=2)
+    session.upload("sales", _batch())
+    yield session, table, baseline
+    session.close()
+
+
+def _populated(table):
+    return [s for s, n in table.shard_rows().items() if n > 0]
+
+
+class TestQueryFailover:
+    def test_worker_killed_mid_query_fails_over(self, sessions):
+        session, table, baseline = sessions
+        primary = table.store.replica_nodes(_populated(table)[0])[0]
+        table.arm_exit(primary, "execute", after=1)
+        result = session.query(GROUPED)
+        assert _sorted_rows(result) == _sorted_rows(baseline.query(GROUPED))
+        assert sum(m.failovers for m in result.request_metrics) == 1
+        assert primary in table.store.dead
+        # Later queries skip the dead node without counting new failovers.
+        again = session.query(GROUPED)
+        assert _sorted_rows(again) == _sorted_rows(baseline.query(GROUPED))
+        assert sum(m.failovers for m in again.request_metrics) == 0
+
+    def test_hard_killed_node_is_survivable(self, sessions):
+        session, table, baseline = sessions
+        table.kill_node(table.store.replica_nodes(_populated(table)[0])[0])
+        for query in SAMPLE_QUERIES:
+            assert _sorted_rows(session.query(query)) == _sorted_rows(
+                baseline.query(query)
+            )
+
+    def test_scan_fails_over_too(self, sessions):
+        session, table, baseline = sessions
+        query = "SELECT region, amount FROM sales WHERE day < 20"
+        want = sorted(map(_rows_key, baseline.scan(query).rows))
+        primary = table.store.replica_nodes(_populated(table)[0])[0]
+        table.arm_exit(primary, "scan", after=1)
+        got = session.scan(query)
+        assert sorted(map(_rows_key, got.rows)) == want
+        assert sum(m.failovers for m in got.request_metrics) == 1
+
+    def test_whole_chain_dead_is_an_error(self, sessions):
+        session, table, _ = sessions
+        shard = _populated(table)[0]
+        for node in table.store.replica_nodes(shard):
+            table.kill_node(node)
+        with pytest.raises(ExecutionError, match="replica"):
+            session.query(GROUPED)
+
+    def test_metrics_record_shard_counters(self, sessions):
+        session, table, _ = sessions
+        primary = table.store.replica_nodes(_populated(table)[0])[0]
+        table.arm_exit(primary, "execute", after=1)
+        result = session.query(GROUPED)
+        metrics = result.request_metrics[0]
+        assert metrics.shards_total == 4
+        summary = metrics.summary()
+        assert summary["shards_total"] == 4.0
+        assert summary["failovers"] + sum(
+            m.failovers for m in result.request_metrics[1:]
+        ) == 1.0
+
+
+class TestAppendSafety:
+    def test_append_refuses_dead_replica(self, sessions):
+        session, table, _ = sessions
+        table.kill_node(table.store.replica_nodes(_populated(table)[0])[0])
+        with pytest.raises(ExecutionError, match="full replica chain"):
+            session.upload("sales", _batch(12))
+
+    def test_append_crash_rolls_back_cleanly(self, sessions, tmp_path):
+        session, table, baseline = sessions
+        want = _sorted_rows(baseline.query(GROUPED))
+        rows_before = table.shard_rows()
+        # The primary of some populated shard dies while acking the
+        # append: the session must roll its cursors back and the store
+        # reconcile must leave every shard at its committed row count.
+        victim = table.store.replica_nodes(_populated(table)[0])[0]
+        table.arm_exit(victim, "append", after=1)
+        with pytest.raises(ExecutionError, match="replica"):
+            session.upload("sales", _batch(13))
+        assert table.num_rows == N
+        # Queries still answer from the replicas, unchanged.
+        assert _sorted_rows(session.query(GROUPED)) == want
+        # A fresh session sees only committed rows on every live replica.
+        session.close()
+        fresh = SeabedSession(
+            master_key=KEY, seed=2,
+            cluster=SimulatedCluster(ClusterConfig(storage_dir=str(tmp_path))),
+        )
+        try:
+            reopened = fresh.open_sharded("sales")
+            assert reopened.num_rows == N
+            assert sum(reopened.shard_rows().values()) == sum(
+                rows_before.values()
+            )
+            assert _sorted_rows(fresh.query(GROUPED)) == want
+        finally:
+            fresh.close()

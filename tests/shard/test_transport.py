@@ -1,0 +1,63 @@
+"""Unit tests for the worker transport (repro.engine.transport)."""
+
+import pytest
+
+from repro.engine.transport import RemoteError, WorkerDied, WorkerHandle
+
+
+def _arith_main(conn, base=0):
+    """Module-level worker entry point (picklable for any start method)."""
+    from repro.engine import transport
+
+    def add(a, b):
+        return base + a + b
+
+    def boom():
+        raise ValueError("intentional worker-side failure")
+
+    transport.serve(conn, {"add": add, "boom": boom})
+
+
+@pytest.fixture
+def worker():
+    handle = WorkerHandle("test-arith", _arith_main, base=10)
+    yield handle
+    handle.kill()
+
+
+class TestCalls:
+    def test_roundtrip_with_spawn_kwargs(self, worker):
+        assert worker.call("add", a=1, b=2) == 13
+        assert worker.alive
+
+    def test_remote_exception_carries_type(self, worker):
+        with pytest.raises(RemoteError, match="intentional") as exc_info:
+            worker.call("boom")
+        assert exc_info.value.remote_type == "ValueError"
+        # The worker survives its handler's exception.
+        assert worker.call("add", a=0, b=0) == 10
+
+    def test_unknown_method_is_remote_error(self, worker):
+        with pytest.raises(RemoteError):
+            worker.call("nope")
+
+
+class TestLifecycle:
+    def test_kill_then_call_raises_worker_died(self, worker):
+        worker.kill()
+        assert not worker.alive
+        with pytest.raises(WorkerDied):
+            worker.call("add", a=1, b=1)
+
+    def test_shutdown_is_clean(self):
+        handle = WorkerHandle("test-shutdown", _arith_main)
+        assert handle.call("add", a=2, b=3) == 5
+        handle.shutdown()
+        assert not handle.alive
+
+    def test_arm_exit_kills_mid_call(self, worker):
+        worker.arm_exit("add", after=2)
+        assert worker.call("add", a=1, b=1) == 12  # first call survives
+        with pytest.raises(WorkerDied):
+            worker.call("add", a=1, b=1)  # second dies before replying
+        assert not worker.alive
