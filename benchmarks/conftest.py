@@ -35,6 +35,8 @@ SCALES = {
         "ingest_rows": 100_000,
         "pruning_rows": 400_000,
         "shard_rows": 60_000,
+        "service_rows": 20_000,
+        "service_sessions": 4,
     },
     "small": {
         "fig6_rows": [50_000, 100_000, 200_000, 400_000],
@@ -51,6 +53,8 @@ SCALES = {
         "ingest_rows": 400_000,
         "pruning_rows": 1_000_000,
         "shard_rows": 400_000,
+        "service_rows": 60_000,
+        "service_sessions": 6,
     },
     "medium": {
         "fig6_rows": [250_000, 500_000, 1_000_000, 2_000_000],
@@ -67,6 +71,8 @@ SCALES = {
         "ingest_rows": 2_000_000,
         "pruning_rows": 4_000_000,
         "shard_rows": 1_000_000,
+        "service_rows": 200_000,
+        "service_sessions": 8,
     },
     "large": {
         "fig6_rows": [1_000_000, 2_000_000, 4_000_000, 8_000_000],
@@ -83,6 +89,8 @@ SCALES = {
         "ingest_rows": 8_000_000,
         "pruning_rows": 8_000_000,
         "shard_rows": 4_000_000,
+        "service_rows": 500_000,
+        "service_sessions": 8,
     },
 }
 

@@ -23,6 +23,9 @@ Public entry points:
 - :mod:`repro.engine` -- the execution substrate.
 - :mod:`repro.workloads` -- dataset and query-set generators used by the
   benchmark harness.
+- :func:`repro.serve` / :func:`repro.connect` -- host stores behind the
+  asyncio TCP service and open sessions against it over the wire
+  (:mod:`repro.net`).
 """
 
 __version__ = "0.1.0"
@@ -31,14 +34,19 @@ __all__ = [
     "AppendStats",
     "ColumnSpec",
     "EncryptedTable",
+    "LocalTransport",
     "Param",
     "PreparedQuery",
     "QueryBuilder",
+    "RemoteTransport",
     "SeabedClient",
     "SeabedSession",
     "TableSchema",
+    "Transport",
     "__version__",
     "col",
+    "connect",
+    "serve",
 ]
 
 _LAZY = {
@@ -52,6 +60,11 @@ _LAZY = {
     "Param": ("repro.query.ast", "Param"),
     "ColumnSpec": ("repro.core.schema", "ColumnSpec"),
     "TableSchema": ("repro.core.schema", "TableSchema"),
+    "Transport": ("repro.core.transport", "Transport"),
+    "LocalTransport": ("repro.core.transport", "LocalTransport"),
+    "RemoteTransport": ("repro.net.client", "RemoteTransport"),
+    "connect": ("repro.net.client", "connect"),
+    "serve": ("repro.net.service", "serve"),
 }
 
 

@@ -324,6 +324,26 @@ def write_sharded_sidecar(
     return target
 
 
+def read_sharded_payload(root: str) -> dict[str, Any]:
+    """The raw (still-JSON) sharded-sidecar payload at ``root``.
+
+    The transport-facing half of :func:`read_sharded_sidecar`: payloads
+    are key-free by construction, so they may ship over the wire as-is
+    and be parsed client-side by :func:`sharded_from_dict`.
+    """
+    target = os.path.join(root, SHARDED_SIDECAR_NAME)
+    try:
+        with open(target) as fh:
+            return json.load(fh)
+    except FileNotFoundError:
+        raise StorageError(
+            f"no sharded table at {root!r}: the sharded client-state "
+            "sidecar is missing"
+        ) from None
+    except json.JSONDecodeError as exc:
+        raise StorageError(f"corrupt sharded client-state sidecar: {exc}") from None
+
+
 def read_sharded_sidecar(
     root: str,
 ) -> tuple[ClientTableState, dict[str, Any], dict[str, Any]]:
@@ -333,17 +353,13 @@ def read_sharded_sidecar(
     payload) and ``shards`` -- per-shard cursors keyed by ``int`` shard
     id (JSON stringifies them; this undoes that).
     """
-    target = os.path.join(root, SHARDED_SIDECAR_NAME)
-    try:
-        with open(target) as fh:
-            data = json.load(fh)
-    except FileNotFoundError:
-        raise StorageError(
-            f"no sharded table at {root!r}: the sharded client-state "
-            "sidecar is missing"
-        ) from None
-    except json.JSONDecodeError as exc:
-        raise StorageError(f"corrupt sharded client-state sidecar: {exc}") from None
+    return sharded_from_dict(read_sharded_payload(root))
+
+
+def sharded_from_dict(
+    data: dict[str, Any],
+) -> tuple[ClientTableState, dict[str, Any], dict[str, Any]]:
+    """Parse a sharded-sidecar payload (see :func:`read_sharded_payload`)."""
     if data.get("format") != SHARDED_FORMAT:
         raise StorageError("not a seabed sharded client-state sidecar")
     if data.get("version") != SHARDED_VERSION:
@@ -370,11 +386,17 @@ def read_sharded_sidecar(
     return state, attach_info, sharding
 
 
-def read_sidecar(store_path: str) -> tuple[ClientTableState, dict[str, Any]]:
+def read_sidecar_payload(store_path: str) -> dict[str, Any]:
+    """The raw (still-JSON) sidecar payload of the store at ``store_path``.
+
+    The transport-facing half of :func:`read_sidecar`: sidecars are
+    key-free by construction, so the payload may ship over the wire
+    as-is and be parsed client-side by :func:`state_from_dict`.
+    """
     target = os.path.join(store_path, SIDECAR_NAME)
     try:
         with open(target) as fh:
-            data = json.load(fh)
+            return json.load(fh)
     except FileNotFoundError:
         raise StorageError(
             f"store at {store_path!r} has no client-state sidecar; it cannot "
@@ -382,4 +404,18 @@ def read_sidecar(store_path: str) -> tuple[ClientTableState, dict[str, Any]]:
         ) from None
     except json.JSONDecodeError as exc:
         raise StorageError(f"corrupt client-state sidecar: {exc}") from None
-    return state_from_dict(data)
+
+
+def write_sidecar_payload(store_path: str, payload: dict[str, Any]) -> str:
+    """Atomically write an already-built sidecar payload (see
+    :func:`write_sidecar`); this is how transports commit on behalf of a
+    session that may live in another process."""
+    if payload.get("format") != SIDECAR_FORMAT:
+        raise StorageError("refusing to write a non-client-state payload as a sidecar")
+    target = os.path.join(store_path, SIDECAR_NAME)
+    atomic_write_json(target, payload)
+    return target
+
+
+def read_sidecar(store_path: str) -> tuple[ClientTableState, dict[str, Any]]:
+    return state_from_dict(read_sidecar_payload(store_path))

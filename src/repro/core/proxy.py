@@ -26,6 +26,8 @@ The result dataclasses (``QueryResult``, ``UploadStats``,
 
 from __future__ import annotations
 
+import warnings
+
 from repro.core.session import (
     LinRegResult,
     PreparedQuery,
@@ -43,6 +45,9 @@ __all__ = [
 ]
 
 
+_warned_server_poke = False
+
+
 class SeabedClient(SeabedSession):
     """Deprecated alias of :class:`~repro.core.session.SeabedSession`.
 
@@ -50,4 +55,30 @@ class SeabedClient(SeabedSession):
     Exists purely so pre-session call sites keep working; it inherits
     every method and attribute unchanged (including the transparent
     translation cache).  Prefer ``SeabedSession`` in new code.
+
+    Reaching through ``client.server`` to poke the in-process
+    :class:`~repro.core.server.SeabedServer` is deprecated on this shim:
+    since the transport redesign the server may live in another process
+    (:mod:`repro.net`), so callers should go through the session API (or
+    ``session.transport``).  The first poke per process warns.
     """
+
+    @property
+    def server(self):
+        global _warned_server_poke
+        if not _warned_server_poke:
+            _warned_server_poke = True
+            warnings.warn(
+                "SeabedClient.server reaches into the in-process server and "
+                "only works over a LocalTransport; use the SeabedSession API "
+                "(or session.transport) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return super().server
+
+    @server.setter
+    def server(self, value):
+        # Same deprecation surface as the getter; delegate to the session
+        # property so local/remote semantics stay in one place.
+        SeabedSession.server.fset(self, value)

@@ -55,22 +55,17 @@ from repro.core.translator import (
 from repro.crypto.det import DictionaryEncoder
 from repro.crypto.keys import KeyChain
 from repro.crypto.paillier import PaillierKeyPair, PaillierScheme
+from repro.core.transport import LocalTransport, Transport
 from repro.engine.cluster import SimulatedCluster
 from repro.engine.metrics import JobMetrics
-from repro.engine.store import (
-    append_store,
-    compact_store,
-    open_store,
-    rebuild_stats,
-    snapshot_generation,
-    store_generations,
-    store_num_rows,
-    store_stats,
-    truncate_store,
-    write_store,
-)
 from repro.engine.storage import serialize_table
-from repro.errors import PlanningError, StorageError, TranslationError
+from repro.errors import (
+    ExecutionError,
+    PlanningError,
+    StorageError,
+    TranslationError,
+    TransportError,
+)
 from repro.ops import OPS
 from repro.query.ast import (
     And,
@@ -113,6 +108,16 @@ class QueryResult:
     @property
     def total_time(self) -> float:
         return self.server_time + self.network_time + self.client_time
+
+    @property
+    def queue_wait(self) -> float:
+        """Time spent in the service's admission queue (0 in-process)."""
+        return sum(m.queue_wait for m in self.request_metrics)
+
+    @property
+    def wire_time(self) -> float:
+        """Measured client round-trip time on the wire (0 in-process)."""
+        return sum(m.wire_time for m in self.request_metrics)
 
     @property
     def category(self) -> str:
@@ -263,16 +268,26 @@ class PreparedQuery:
     # -- execution -----------------------------------------------------------
 
     def execute(
-        self, *args: Any, user: str | None = None, **params: Any
+        self,
+        *args: Any,
+        user: str | None = None,
+        timeout: float | None = None,
+        **params: Any,
     ) -> QueryResult:
         """Bind parameter values (positionally in declaration order or by
-        name) and run.  Performs zero parse/plan/translate work."""
+        name) and run.  Performs zero parse/plan/translate work.
+
+        ``timeout`` is a per-request budget in seconds enforced by the
+        session's transport (remote transports raise
+        :class:`~repro.errors.TransportError` on expiry; the in-process
+        transport executes synchronously and ignores it).
+        """
         OPS.bump("prepared_execute")
         values = self._bind_values(args, params)
         self._session._check_access(user, self._tables)
         if self.kind == "scan":
-            return self._execute_scan(values)
-        return self._execute_agg(values)
+            return self._execute_scan(values, timeout)
+        return self._execute_agg(values, timeout)
 
     def _bind_values(
         self, args: tuple[Any, ...], params: dict[str, Any]
@@ -284,13 +299,15 @@ class PreparedQuery:
                 f"parameter(s) {list(names)!r}"
             )
         values: dict[str, Any] = dict(zip(names, args))
-        if "user" in names and "user" not in values:
-            # The keyword would be swallowed by the reserved user= argument.
-            raise TranslationError(
-                "this query declares a parameter named 'user', which "
-                "collides with the reserved user= argument of execute(); "
-                "bind it positionally or rename the placeholder"
-            )
+        for reserved in ("user", "timeout"):
+            if reserved in names and reserved not in values:
+                # The keyword would be swallowed by the reserved argument.
+                raise TranslationError(
+                    f"this query declares a parameter named {reserved!r}, "
+                    f"which collides with the reserved {reserved}= argument "
+                    "of execute(); bind it positionally or rename the "
+                    "placeholder"
+                )
         for name, value in params.items():
             if name not in names:
                 raise TranslationError(
@@ -307,7 +324,9 @@ class PreparedQuery:
             raise TranslationError(f"missing values for parameters {missing!r}")
         return values
 
-    def _execute_agg(self, values: dict[str, Any]) -> QueryResult:
+    def _execute_agg(
+        self, values: dict[str, Any], timeout: float | None = None
+    ) -> QueryResult:
         assert self._translated is not None
         session = self._session
         t0 = time.perf_counter()
@@ -318,7 +337,9 @@ class PreparedQuery:
         )
         bind_time = time.perf_counter() - t0
 
-        responses = [session.server.execute(r) for r in requests]
+        responses = [
+            session.transport.execute(r, timeout=timeout) for r in requests
+        ]
 
         t0 = time.perf_counter()
         rows = self._decryptor.decrypt(self._translated, responses)
@@ -334,17 +355,20 @@ class PreparedQuery:
             translation=self._translated,
         )
 
-    def _execute_scan(self, values: dict[str, Any]) -> QueryResult:
+    def _execute_scan(
+        self, values: dict[str, Any], timeout: float | None = None
+    ) -> QueryResult:
         session = self._session
         t0 = time.perf_counter()
         scan_filter = (
             bind_filter(self._scan_filter, values) if values else self._scan_filter
         )
         bind_time = time.perf_counter() - t0
-        response = session.server.scan(
+        response = session.transport.scan(
             self.query.table,
             [column for column, _ in self._scan_physical.values()],
             scan_filter,
+            timeout=timeout,
         )
         t0 = time.perf_counter()
         rows = self._decryptor.decrypt_scan(
@@ -389,32 +413,38 @@ class EncryptedTable:
 
     @property
     def store_path(self) -> str | None:
-        """Where the server-side table is memory-mapped from, if anywhere."""
-        return self._session.server.table(self.name).store_path
+        """Where the server-side table is memory-mapped from, if anywhere.
+
+        Over a remote transport this names a path *on the serving host*.
+        """
+        meta = self._session.transport.table_meta(self.name)
+        if meta is None:
+            raise ExecutionError(
+                f"no table {self.name!r} registered on the server"
+            )
+        return meta["store_path"]
 
     def save(self, path: str | None = None, overwrite: bool = False) -> str:
         """Persist ciphertexts + client state; returns the store path.
 
         ``path`` defaults to the table name, resolved against the
-        cluster's ``storage_dir``.  The written directory holds only
+        server side's ``storage_dir``.  The written directory holds only
         public material plus the ``client_state.json`` sidecar (plaintext
         dictionaries, no keys) -- see :mod:`repro.core.persistence`.
+        The server writes both halves on the session's behalf: it
+        already holds the ciphertexts, and the sidecar payload the
+        session hands over is key-free by construction.
         """
         session = self._session
         state = session.table_state(self.name)
-        resolved = session.cluster.config.resolve_store_path(path or self.name)
-        write_store(
-            session.server.table(self.name),
-            resolved,
-            column_meta=session._column_meta(state),
+        resolved = session.transport.save_store(
+            self.name,
+            path or self.name,
+            session._column_meta(state),
             overwrite=overwrite,
         )
-        session._write_sidecar(resolved, state, self.name)
-        # The session's server-side table becomes the store-backed view:
-        # columns memory-map from the files just written, and incremental
-        # ingestion (append / compact) can target the store directly.
-        session.server.register(open_store(resolved))
-        return os.path.abspath(resolved)
+        session._commit_state(self.name)
+        return resolved
 
     def append(
         self, columns: Mapping[str, Any], num_partitions: int | None = None
@@ -433,24 +463,13 @@ class EncryptedTable:
     @property
     def generations(self) -> list[dict]:
         """The store's generation log (empty for in-memory tables)."""
-        path = self.store_path
-        return store_generations(path) if path is not None else []
+        return self._session.transport.generations(self.name)
 
     def stats(self) -> dict:
         """Zone-map index summary: partition/row coverage and per-column
         artifact counts (:func:`repro.engine.store.store_stats`).  An
         in-memory table carries no index and reports zero coverage."""
-        path = self.store_path
-        if path is None:
-            table = self._session.server.table(self.name)
-            return {
-                "partitions": table.num_partitions,
-                "partitions_with_stats": 0,
-                "rows": 0,
-                "columns": {},
-                "generation": None,
-            }
-        return store_stats(path)
+        return self._session.transport.store_stats(self.name)
 
     def rebuild_index(self) -> dict:
         """Recompute the store's zone-map statistics and refresh the
@@ -482,14 +501,26 @@ class ShardedTable:
 
     @property
     def store(self) -> ShardedStore:
-        return self._session._sharded_stores[self.name]
+        store = self._session._sharded_stores.get(self.name)
+        if store is None:
+            raise TransportError(
+                f"sharded table {self.name!r} is hosted by the remote "
+                "service; its worker fleet is not reachable from this client"
+            )
+        return store
 
     @property
     def topology(self) -> ShardTopology:
+        remote = self._session._remote_sharded.get(self.name)
+        if remote is not None:
+            return remote[1]
         return self.store.topology
 
     @property
     def root(self) -> str:
+        remote = self._session._remote_sharded.get(self.name)
+        if remote is not None:
+            return remote[0]
         return self.store.root
 
     @property
@@ -562,12 +593,25 @@ class SeabedSession:
         access_control: bool = False,
         seed: int | None = 0,
         cache_size: int = 128,
+        transport: Transport | None = None,
     ):
         if mode not in ("seabed", "paillier", "plain"):
             raise PlanningError(f"unknown client mode {mode!r}")
+        if transport is not None and server is not None:
+            raise PlanningError(
+                "pass either transport= or server=, not both: a transport "
+                "already decides where the server lives"
+            )
         self.mode = mode
+        # Even a remote session keeps a cluster handle: its config drives
+        # client-side work (translation core counts, append batch slicing,
+        # query_many fan-out); the *serving* side executes with its own.
         self.cluster = cluster or SimulatedCluster()
-        self.server = server or srv.SeabedServer(self.cluster)
+        if transport is None:
+            transport = LocalTransport(
+                server or srv.SeabedServer(self.cluster), self.cluster
+            )
+        self._transport = transport
         self._keychain = (
             KeyChain(master_key) if master_key is not None else KeyChain.generate()
         )
@@ -595,6 +639,41 @@ class SeabedSession:
         # cursor per shard (disjoint row-ID strides; shared dictionaries).
         self._sharded_stores: dict[str, ShardedStore] = {}
         self._shard_states: dict[str, dict[int, ClientTableState]] = {}
+        # Sharded tables hosted by a remote service: (server-side root,
+        # topology).  Query-only from this client; the fleet lives there.
+        self._remote_sharded: dict[str, tuple[str, Any]] = {}
+
+    # -- the execution boundary --------------------------------------------------
+
+    @property
+    def transport(self) -> Transport:
+        """The session's execution boundary (see :mod:`repro.core.transport`)."""
+        return self._transport
+
+    @property
+    def server(self) -> srv.SeabedServer:
+        """The in-process server behind a local transport.
+
+        Only meaningful in single-process mode; a session connected to a
+        remote service has no server object to poke (that is the point
+        of the boundary), so this raises
+        :class:`~repro.errors.TransportError`.
+        """
+        if isinstance(self._transport, LocalTransport):
+            return self._transport.server
+        raise TransportError(
+            "this session runs over a remote transport; the server lives "
+            "in the service process and cannot be reached in-process"
+        )
+
+    @server.setter
+    def server(self, value: srv.SeabedServer) -> None:
+        if isinstance(self._transport, LocalTransport):
+            self._transport.server = value
+            return
+        raise TransportError(
+            "cannot replace the server of a remotely-connected session"
+        )
 
     # -- planning ---------------------------------------------------------------
 
@@ -679,6 +758,11 @@ class SeabedSession:
         and to config-driven batch slicing for store appends.
         """
         state = self._state(table)
+        if table in self._remote_sharded:
+            raise TransportError(
+                f"table {table!r} is a remotely-hosted sharded table; "
+                "sharded appends must run in the serving process"
+            )
         if table in self._sharded_stores:
             stats = self.append_sharded(
                 table, columns, num_partitions=num_partitions
@@ -689,8 +773,8 @@ class SeabedSession:
                 encrypt_seconds=stats.encrypt_seconds,
                 physical_columns=stats.physical_columns,
             )
-        registered = self.server.get(table)
-        if registered is not None and registered.store_path is not None:
+        meta = self.transport.table_meta(table)
+        if meta is not None and meta["store_backed"]:
             stats = self.append_rows(table, columns, num_partitions=num_partitions)
             return UploadStats(
                 table=table,
@@ -706,7 +790,7 @@ class SeabedSession:
             state, columns, num_partitions=num_partitions or 8
         )
         elapsed = time.perf_counter() - t0
-        self.server.append(encrypted)
+        self.transport.upload(encrypted)
         return UploadStats(
             table=table,
             rows=encrypted.num_rows,
@@ -741,13 +825,13 @@ class SeabedSession:
         of ``cluster.config.append_partition_rows`` rows.
         """
         state = self._state(table)
-        store_path = self.server.table(table).store_path
-        if store_path is None:
+        meta = self.transport.table_meta(table)
+        if meta is None or not meta["store_backed"]:
             raise StorageError(
                 f"table {table!r} is not store-backed; use upload() for "
                 "in-memory tables, or save_table() first"
             )
-        self._reconcile_store(store_path, state)
+        self._reconcile_store(table, state)
         arrays = {name: np.asarray(col) for name, col in columns.items()}
         nrows = len(next(iter(arrays.values()))) if arrays else 0
         if nrows == 0:
@@ -766,17 +850,17 @@ class SeabedSession:
             )
             encrypt_seconds = time.perf_counter() - t0
             t0 = time.perf_counter()
-            generation = append_store(
-                encrypted, store_path, column_meta=self._column_meta(state)
+            generation = self.transport.append_batch(
+                table, encrypted, self._column_meta(state)
             )
             # Commit point: the sidecar's row watermark acknowledges the
             # generation published above.
-            self._write_sidecar(store_path, state, table)
+            self._commit_state(table)
         except Exception:
             state.next_row_id, state.num_rows = rollback
             raise
         write_seconds = time.perf_counter() - t0
-        self.server.register(open_store(store_path))
+        self.transport.reopen(table)
         return AppendStats(
             table=table,
             rows=nrows,
@@ -803,18 +887,7 @@ class SeabedSession:
         Returns the new index summary.
         """
         self._state(table)  # raises if unknown
-        registered = self.server.table(table)
-        store_path = registered.store_path
-        if store_path is None:
-            raise StorageError(
-                f"table {table!r} is not store-backed; zone maps are built "
-                "when the table is saved to a partition store"
-            )
-        summary = rebuild_stats(store_path)
-        self.server.register(
-            open_store(store_path, generation=registered.store_generation)
-        )
-        return summary
+        return self.transport.rebuild_index(table)
 
     def compact_table(self, table: str, target_rows: int | None = None) -> dict | None:
         """Merge runs of small append generations into full-size
@@ -823,18 +896,15 @@ class SeabedSession:
         mean partition size.  Returns the compaction stats dict, or
         ``None`` when the store was already healthy."""
         state = self._state(table)
-        store_path = self.server.table(table).store_path
-        if store_path is None:
+        meta = self.transport.table_meta(table)
+        if meta is None or not meta["store_backed"]:
             raise StorageError(
                 f"table {table!r} is not store-backed; there is nothing to compact"
             )
-        self._reconcile_store(store_path, state)
-        stats = compact_store(store_path, target_rows=target_rows)
-        if stats is not None:
-            self.server.register(open_store(store_path))
-        return stats
+        self._reconcile_store(table, state)
+        return self.transport.compact(table, target_rows=target_rows)
 
-    def _reconcile_store(self, store_path: str, state: ClientTableState) -> None:
+    def _reconcile_store(self, table: str, state: ClientTableState) -> None:
         """Roll back store generations the sidecar never acknowledged
         (a previous writer died between manifest publish and sidecar
         commit); refuse stores that are behind the client state.
@@ -846,7 +916,10 @@ class SeabedSession:
         committed generations; instead the stale session gets a clear
         error and must re-open the table.
         """
-        committed = ps.read_sidecar(store_path)[0].num_rows
+        meta = self.transport.table_meta(table)
+        assert meta is not None and meta["store_backed"]  # callers checked
+        store_path = meta["store_path"]
+        committed = int(self.transport.read_store_state(store_path)["num_rows"])
         if committed != state.num_rows:
             raise StorageError(
                 f"the store at {store_path!r} has {committed} committed rows "
@@ -854,7 +927,7 @@ class SeabedSession:
                 "writer advanced (or rewrote) the store -- re-open the table "
                 "in a fresh session before appending"
             )
-        on_disk = store_num_rows(store_path)
+        on_disk = self.transport.store_rows(table)
         if on_disk == committed:
             return
         if on_disk < committed:
@@ -862,7 +935,7 @@ class SeabedSession:
                 f"store at {store_path!r} holds {on_disk} rows but its "
                 f"sidecar committed {committed}; the store is stale or corrupt"
             )
-        truncate_store(store_path, committed)
+        self.transport.truncate_store(table, committed)
 
     # -- persistence ----------------------------------------------------------------
 
@@ -891,57 +964,55 @@ class SeabedSession:
         queries decrypt garbage.
         """
         resolved = self.cluster.config.resolve_store_path(path)
-        state, attach = ps.read_sidecar(resolved)
+        state, attach = ps.state_from_dict(self.transport.read_store_state(path))
         name = state.schema.name
         if name in self._states:
             raise StorageError(
                 f"table {name!r} is already registered in this session"
             )
+        self._verify_attach(attach, name, f"store at {resolved!r}")
+        # The server opens the store at its committed snapshot and
+        # registers it; key/mode verification already happened above,
+        # client-side, against the key-free sidecar payload.
+        info = self.transport.attach(path)
+        if info["name"] != name:
+            raise StorageError(
+                f"the server attached table {info['name']!r} but the sidecar "
+                f"describes {name!r}"
+            )
+        self._states[name] = state
+        self._factories[name] = CryptoFactory(
+            self._keychain, name, prf_backend=attach["prf_backend"]
+        )
+        self._sample_queries.setdefault(name, [])
+        # No cache invalidation needed: the name was unregistered until
+        # now, so no cached translation can reference it, and attaching
+        # must not evict other tables' hot templates.
+        return EncryptedTable(self, name)
+
+    def _verify_attach(
+        self, attach: dict[str, Any], name: str, what: str
+    ) -> None:
+        """Mode / master-key / Paillier checks shared by every attach
+        path; all three fail fast with :class:`StorageError` instead of
+        letting queries decrypt garbage."""
         if attach["mode"] != self.mode:
             raise StorageError(
-                f"store at {resolved!r} was written in mode {attach['mode']!r}; "
+                f"{what} was written in mode {attach['mode']!r}; "
                 f"this session runs mode {self.mode!r}"
             )
         if attach["key_check"] != ps.key_check_value(self._keychain, name):
             raise StorageError(
-                "the session master key cannot decrypt the store at "
-                f"{resolved!r} (key-check mismatch)"
+                f"the session master key cannot decrypt the {what} "
+                "(key-check mismatch)"
             )
         if self.mode == "paillier":
             assert self._paillier is not None
             if attach["paillier_n"] != self._paillier.n:
                 raise StorageError(
                     "the session's Paillier key pair differs from the one "
-                    "that encrypted this store; pass the original keys"
+                    f"that encrypted this {what}; pass the original keys"
                 )
-        table = open_store(resolved)
-        if table.name != name:
-            raise StorageError(
-                f"store manifest names table {table.name!r} but the sidecar "
-                f"describes {name!r}"
-            )
-        if table.num_rows != state.num_rows:
-            # A writer may have died between publishing an append
-            # generation and committing the sidecar watermark: attach at
-            # the committed snapshot instead (the next append rolls the
-            # uncommitted tail back).
-            snap = snapshot_generation(resolved, state.num_rows)
-            if snap is None:
-                raise StorageError(
-                    f"store holds {table.num_rows} rows but the client state "
-                    f"recorded {state.num_rows}; the store is stale or corrupt"
-                )
-            table = open_store(resolved, generation=snap)
-        self._states[name] = state
-        self._factories[name] = CryptoFactory(
-            self._keychain, name, prf_backend=attach["prf_backend"]
-        )
-        self._sample_queries.setdefault(name, [])
-        self.server.register(table)
-        # No cache invalidation needed: the name was unregistered until
-        # now, so no cached translation can reference it, and attaching
-        # must not evict other tables' hot templates.
-        return EncryptedTable(self, name)
 
     # -- sharded tables ---------------------------------------------------------
 
@@ -976,6 +1047,12 @@ class SeabedSession:
             ShardTopology,
         )
 
+        if not self.transport.local:
+            raise TransportError(
+                "shard_table spawns a worker fleet and must run in the "
+                "serving process; remote sessions can query sharded tables "
+                "(open_sharded) but not create them"
+            )
         state = self._state(name)
         if name in self._sharded_stores:
             raise StorageError(f"table {name!r} is already sharded")
@@ -1025,36 +1102,32 @@ class SeabedSession:
         )
 
         root = self.cluster.config.resolve_store_path(path)
-        state, attach, sharding = ps.read_sharded_sidecar(root)
+        payload = self.transport.read_sharded_state(path)
+        state, attach, sharding = ps.sharded_from_dict(payload)
         name = state.schema.name
         if name in self._states:
             raise StorageError(
                 f"table {name!r} is already registered in this session"
             )
-        if attach["mode"] != self.mode:
-            raise StorageError(
-                f"sharded table at {root!r} was written in mode "
-                f"{attach['mode']!r}; this session runs mode {self.mode!r}"
-            )
-        if attach["key_check"] != ps.key_check_value(self._keychain, name):
-            raise StorageError(
-                "the session master key cannot decrypt the sharded table at "
-                f"{root!r} (key-check mismatch)"
-            )
-        if self.mode == "paillier":
-            assert self._paillier is not None
-            if attach["paillier_n"] != self._paillier.n:
-                raise StorageError(
-                    "the session's Paillier key pair differs from the one "
-                    "that encrypted this sharded table; pass the original keys"
-                )
+        self._verify_attach(attach, name, f"sharded table at {root!r}")
         topology = ShardTopology.from_dict(sharding["topology"])
-        store = ShardedStore(root, topology, self.cluster.config)
+        if not self.transport.local:
+            # The service hosts the fleet (spawning workers, rolling back
+            # uncommitted shard tails); this client is query-only.
+            info = self.transport.attach_sharded(path)
+            self._states[name] = state
+            self._factories[name] = CryptoFactory(
+                self._keychain, name, prf_backend=attach["prf_backend"]
+            )
+            self._sample_queries.setdefault(name, [])
+            self._remote_sharded[name] = (info.get("root", path), topology)
+            return ShardedTable(self, name)
         self._states[name] = state
         self._factories[name] = CryptoFactory(
             self._keychain, name, prf_backend=attach["prf_backend"]
         )
         self._sample_queries.setdefault(name, [])
+        store = ShardedStore(root, topology, self.cluster.config)
         self._sharded_stores[name] = store
         self._shard_states[name] = {
             shard: ClientTableState(
@@ -1074,7 +1147,7 @@ class SeabedSession:
 
     def sharded_table(self, name: str) -> ShardedTable:
         """Handle to a sharded table registered in this session."""
-        if name not in self._sharded_stores:
+        if name not in self._sharded_stores and name not in self._remote_sharded:
             raise StorageError(f"table {name!r} is not sharded in this session")
         return ShardedTable(self, name)
 
@@ -1088,6 +1161,7 @@ class SeabedSession:
         """
         for store in self._sharded_stores.values():
             store.close()
+        self._transport.close()
 
     def append_sharded(
         self,
@@ -1108,6 +1182,11 @@ class SeabedSession:
         generations the next reconcile rolls back.
         """
         state = self._state(table)
+        if table in self._remote_sharded:
+            raise TransportError(
+                f"sharded table {table!r} is hosted by the remote service; "
+                "sharded appends must run in the serving process"
+            )
         store = self._sharded_stores.get(table)
         if store is None:
             raise StorageError(
@@ -1378,6 +1457,7 @@ class SeabedSession:
         expected_groups: int | None = None,
         compress_at: str = "worker",
         user: str | None = None,
+        timeout: float | None = None,
         **params: Any,
     ) -> QueryResult:
         """Translate (or reuse a cached translation), execute, decrypt.
@@ -1397,12 +1477,13 @@ class SeabedSession:
             )
         self._validate_params(q, params)
         prepared, lifted = self._cached_prepare(q, expected_groups, compress_at)
-        return prepared.execute(user=user, **lifted, **params)
+        return prepared.execute(user=user, timeout=timeout, **lifted, **params)
 
     def scan(
         self,
         query: str | Query | QueryBuilder,
         user: str | None = None,
+        timeout: float | None = None,
         **params: Any,
     ) -> QueryResult:
         """Execute a projection (scan) query through the shared prepared
@@ -1412,7 +1493,7 @@ class SeabedSession:
             raise TranslationError("scan() is for projection queries; use query()")
         self._validate_params(q, params)
         prepared, lifted = self._cached_prepare(q, None, "worker")
-        return prepared.execute(user=user, **lifted, **params)
+        return prepared.execute(user=user, timeout=timeout, **lifted, **params)
 
     def query_many(
         self,
@@ -1421,6 +1502,7 @@ class SeabedSession:
         compress_at: str = "worker",
         user: str | None = None,
         max_in_flight: int | None = None,
+        timeout: float | None = None,
     ) -> list[QueryResult]:
         """Execute a batch of independent queries, results in input order.
 
@@ -1446,7 +1528,7 @@ class SeabedSession:
           applies).
         """
         jobs = [
-            self._batch_job(item, expected_groups, compress_at, user)
+            self._batch_job(item, expected_groups, compress_at, user, timeout)
             for item in queries
         ]
         backend = self.cluster.backend
@@ -1465,6 +1547,7 @@ class SeabedSession:
         expected_groups: int | None,
         compress_at: str,
         user: str | None,
+        timeout: float | None = None,
     ):
         groups = expected_groups
         if isinstance(item, tuple):
@@ -1480,7 +1563,9 @@ class SeabedSession:
                         "a PreparedQuery batch tuple takes a parameter "
                         "mapping as its second element"
                     )
-                return lambda: first.execute(user=user, **dict(second))
+                return lambda: first.execute(
+                    user=user, timeout=timeout, **dict(second)
+                )
             if not (second is None or isinstance(second, int)):
                 raise TranslationError(
                     "per-query expected_groups must be int or None, "
@@ -1489,12 +1574,12 @@ class SeabedSession:
             item, groups = first, second
         if isinstance(item, PreparedQuery):
             prepared = item
-            return lambda: prepared.execute(user=user)
+            return lambda: prepared.execute(user=user, timeout=timeout)
         query = item
         per_query_groups = groups
         return lambda: self.query(
             query, expected_groups=per_query_groups,
-            compress_at=compress_at, user=user,
+            compress_at=compress_at, user=user, timeout=timeout,
         )
 
     def linear_regression(
@@ -1563,12 +1648,12 @@ class SeabedSession:
             for physical, scheme in plan.physical_schemes().items()
         }
 
-    def _write_sidecar(
-        self, store_path: str, state: ClientTableState, table: str
-    ) -> None:
-        ps.write_sidecar(
-            store_path,
-            state,
+    def _commit_state(self, table: str) -> None:
+        """Hand the key-free sidecar payload to the transport to write --
+        the commit point of saves and appends, possibly executed by a
+        remote service on the session's behalf."""
+        payload = ps.state_to_dict(
+            self._states[table],
             mode=self.mode,
             # The *table's* factory backend, not the session default: a
             # table attached from a store keeps the PRF it was encrypted
@@ -1579,6 +1664,7 @@ class SeabedSession:
                 self._paillier.n if self._paillier is not None else None
             ),
         )
+        self.transport.commit_state(table, payload)
 
     def _as_query(self, query: str | Query | QueryBuilder) -> Query:
         if isinstance(query, str):

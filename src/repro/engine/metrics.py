@@ -63,6 +63,13 @@ class JobMetrics:
     shards_total: int = 0
     shards_skipped: int = 0
     failovers: int = 0
+    # Service-layer accounting (repro.net): time the request sat in the
+    # server's admission queue before a slot opened, and the *measured*
+    # client-side round trip spent on the wire (encode + socket + decode)
+    # beyond the executed job itself.  Both stay 0.0 for in-process
+    # transports.
+    queue_wait: float = 0.0
+    wire_time: float = 0.0
 
     def add_stage(self, stage: StageMetrics) -> None:
         self.stages.append(stage)
@@ -119,5 +126,14 @@ class JobMetrics:
                 "failovers": float(self.failovers),
             }
             if self.shards_total
+            else {}
+        ) | (
+            # Likewise, wire counters only appear for jobs that crossed
+            # the service boundary.
+            {
+                "queue_wait_s": self.queue_wait,
+                "wire_s": self.wire_time,
+            }
+            if self.queue_wait or self.wire_time
             else {}
         )

@@ -138,7 +138,10 @@ class WorkerHandle:
 
     @property
     def alive(self) -> bool:
-        return self.process.is_alive()
+        try:
+            return self.process.is_alive()
+        except ValueError:
+            return False  # process object released after death
 
     def call(self, method: str, /, **kwargs: Any) -> Any:
         """Invoke ``method`` on the worker and wait for its reply."""
@@ -152,7 +155,10 @@ class WorkerHandle:
                 # The pipe fd closes a beat before the child becomes
                 # reapable; join it so ``alive`` reads False (and the
                 # zombie is collected) by the time callers handle this.
-                self.process.join(timeout=5)
+                # Release our end of the pipe too: a worker that dies
+                # during the handshake used to leak the parent-side fd
+                # for the handle's lifetime (one fd pair per respawn).
+                self._release()
                 raise WorkerDied(
                     f"worker {self.name!r} died during {method!r}"
                 ) from exc
@@ -171,12 +177,31 @@ class WorkerHandle:
         ``after``-th subsequent call of ``method`` (fail-point injection)."""
         self.call("__arm_exit__", method=method, after=after)
 
+    def _release(self) -> None:
+        """Close the parent-side pipe fd and collect the child process
+        object; idempotent, tolerant of an already-closed handle."""
+        try:
+            self.process.join(timeout=5)
+        except ValueError:
+            pass  # process object already released
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+        try:
+            if not self.process.is_alive():
+                self.process.close()
+        except ValueError:
+            pass  # already closed, or still winding down
+
     def kill(self) -> None:
         """Hard-kill the worker (SIGKILL); safe to call twice."""
-        if self.process.is_alive():
-            self.process.kill()
-        self.process.join(timeout=5)
-        self._conn.close()
+        try:
+            if self.process.is_alive():
+                self.process.kill()
+        except ValueError:
+            return  # process object already closed by a prior release
+        self._release()
 
     def shutdown(self) -> None:
         """Ask the worker to exit cleanly; falls back to :meth:`kill`."""
@@ -184,11 +209,11 @@ class WorkerHandle:
             self.call("shutdown")
         except (WorkerDied, RemoteError, ExecutionError, OSError):
             pass
-        self.process.join(timeout=5)
-        if self.process.is_alive():
-            self.process.kill()
-            self.process.join(timeout=5)
         try:
-            self._conn.close()
-        except OSError:
-            pass
+            if self.process.is_alive():
+                self.process.join(timeout=5)
+            if self.process.is_alive():
+                self.process.kill()
+        except ValueError:
+            return  # already released
+        self._release()

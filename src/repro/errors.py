@@ -41,3 +41,28 @@ class DecryptionError(SeabedError):
 
 class ParseError(SeabedError):
     """The SQL-subset parser rejected the query text."""
+
+
+class TransportError(SeabedError):
+    """A transport could not complete a call (connection loss, timeout,
+    or an operation the transport does not support)."""
+
+
+class CodecError(TransportError):
+    """A wire frame was truncated, corrupt, or of an unsupported version."""
+
+
+class AuthError(SeabedError):
+    """The service rejected the session's bearer token."""
+
+
+class Backpressure(SeabedError):
+    """The service shed the request under admission control (RETRY_LATER).
+
+    ``retry_after`` is the server's suggested delay in seconds before
+    retrying, or ``None`` when it offered no hint.
+    """
+
+    def __init__(self, message: str, retry_after: float | None = None):
+        super().__init__(message)
+        self.retry_after = retry_after

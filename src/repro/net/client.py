@@ -1,0 +1,354 @@
+"""Client half of the service boundary: :class:`RemoteTransport`.
+
+A blocking socket client for the :mod:`repro.net.service` protocol that
+plugs into :class:`~repro.core.session.SeabedSession` via the
+:class:`~repro.core.transport.Transport` interface -- queries, scans,
+appends, compaction and sharded scatter-gather all flow through the same
+method set the in-process :class:`~repro.core.transport.LocalTransport`
+implements, so session code is identical either way.
+
+Failure surface is typed, never a raw ``OSError``:
+
+- connection loss / refused / mid-frame close ->
+  :class:`~repro.errors.TransportError` (idempotent reads are retried
+  with exponential backoff and a fresh connection first);
+- bad token or revocation -> :class:`~repro.errors.AuthError`;
+- admission-control rejection -> :class:`~repro.errors.Backpressure`
+  with its ``retry_after`` hint;
+- malformed frames / version skew -> :class:`~repro.errors.CodecError`.
+
+:func:`connect` is the top-level entry point::
+
+    session = repro.connect(("127.0.0.1", 7733), token, master_key=KEY)
+    session.open_table("sales")
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any
+
+from repro.core.access import AccessError  # noqa: F401 -- registers for _error_class
+from repro.core.transport import Transport
+from repro.errors import (
+    AuthError,
+    Backpressure,
+    CodecError,
+    SeabedError,
+    TransportError,
+)
+from repro.net import codec
+
+#: Ops safe to replay on a fresh connection after a transport failure:
+#: pure reads, plus reconcile-style ops whose replay converges.
+_IDEMPOTENT = {
+    "ping",
+    "execute",
+    "scan",
+    "table_meta",
+    "storage_bytes",
+    "read_store_state",
+    "read_sharded_state",
+    "store_rows",
+    "store_stats",
+    "generations",
+    "audit",
+    "reopen",
+    "attach",
+    "attach_sharded",
+}
+
+
+def _error_class(name: str) -> type[SeabedError] | None:
+    """Resolve a wire error name against the SeabedError hierarchy."""
+    stack = [SeabedError]
+    while stack:
+        cls = stack.pop()
+        if cls.__name__ == name:
+            return cls
+        stack.extend(cls.__subclasses__())
+    return None
+
+
+class RemoteTransport(Transport):
+    """Socket client for a :class:`~repro.net.service.SeabedService`.
+
+    One connection, one request at a time (the session API is
+    synchronous); concurrency comes from multiple sessions, exactly as
+    multiple tenants hit the service.  ``timeout`` per call rides in the
+    request envelope so the *server* enforces it too; the socket itself
+    waits slightly longer so the typed server-side timeout reply wins
+    over a raw socket timeout when both trigger.
+    """
+
+    local = False
+
+    def __init__(
+        self,
+        address: tuple[str, int] | str,
+        token: str | None = None,
+        *,
+        user: str | None = None,
+        connect_timeout: float = 10.0,
+        default_timeout: float | None = 60.0,
+        retries: int = 3,
+        backoff: float = 0.05,
+    ):
+        if isinstance(address, str):
+            host, _, port = address.rpartition(":")
+            if not host or not port.isdigit():
+                raise TransportError(
+                    f"address {address!r} is not 'host:port' or (host, port)"
+                )
+            address = (host, int(port))
+        self.address = address
+        self._token = token
+        self._user = user
+        self._connect_timeout = connect_timeout
+        self._default_timeout = default_timeout
+        self._retries = max(1, retries)
+        self._backoff = backoff
+        self._sock: socket.socket | None = None
+        self.server_info: dict[str, Any] | None = None
+        self._connect()  # fail fast on bad address / bad token
+
+    # -- connection management ---------------------------------------------
+
+    def _connect(self) -> None:
+        try:
+            sock = socket.create_connection(
+                self.address, timeout=self._connect_timeout
+            )
+        except OSError as exc:
+            raise TransportError(
+                f"cannot reach seabed service at {self.address[0]}:"
+                f"{self.address[1]}: {exc}"
+            ) from exc
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            codec.write_frame(
+                sock, "hello", {"token": self._token, "user": self._user}
+            )
+            kind, body = codec.read_frame(sock)
+        except OSError as exc:
+            sock.close()
+            raise TransportError(f"handshake failed: {exc}") from exc
+        except CodecError:
+            sock.close()
+            raise
+        if kind != "hello" or not isinstance(body, dict):
+            sock.close()
+            raise CodecError(f"expected a hello reply, got {kind!r}")
+        if not body.get("ok"):
+            sock.close()
+            raise self._as_error(body)
+        self.server_info = body.get("result") or {}
+        self._sock = sock
+
+    def _drop(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def close(self) -> None:
+        self._drop()
+
+    # -- request plumbing ---------------------------------------------------
+
+    def _as_error(self, body: dict[str, Any]) -> SeabedError:
+        name = body.get("error", "TransportError")
+        message = str(body.get("message", "remote error"))
+        if name == "Backpressure":
+            retry_after = body.get("retry_after")
+            return Backpressure(
+                message,
+                retry_after=float(retry_after) if retry_after is not None else None,
+            )
+        cls = _error_class(name) if isinstance(name, str) else None
+        if cls is None or cls is SeabedError:
+            return TransportError(f"{name}: {message}")
+        return cls(message)
+
+    def _request(
+        self, op: str, args: dict[str, Any], *, timeout: float | None = None
+    ) -> Any:
+        limit = timeout if timeout is not None else self._default_timeout
+        attempts = self._retries if op in _IDEMPOTENT else 1
+        last: Exception | None = None
+        for attempt in range(attempts):
+            if attempt:
+                time.sleep(self._backoff * (2 ** (attempt - 1)))
+            try:
+                if self._sock is None:
+                    self._connect()
+                sock = self._sock
+                assert sock is not None
+                # Grace beyond the server-side budget so its typed
+                # timeout reply arrives before the socket gives up.
+                sock.settimeout(limit + 5.0 if limit is not None else None)
+                codec.write_frame(
+                    sock, "req", {"op": op, "args": args, "timeout": limit}
+                )
+                kind, body = codec.read_frame(sock)
+            except (AuthError, Backpressure):
+                raise
+            except socket.timeout as exc:
+                self._drop()
+                raise TransportError(
+                    f"request {op!r} timed out after {limit}s on the wire"
+                ) from exc
+            except (OSError, CodecError) as exc:
+                if isinstance(exc, CodecError) and "version skew" in str(exc):
+                    self._drop()
+                    raise  # retrying cannot fix a protocol mismatch
+                self._drop()
+                last = exc
+                continue
+            if kind != "rep" or not isinstance(body, dict):
+                self._drop()
+                raise CodecError(f"expected a rep frame, got {kind!r}")
+            if body.get("ok"):
+                return body.get("result")
+            raise self._as_error(body)
+        if isinstance(last, CodecError):
+            raise last
+        raise TransportError(
+            f"request {op!r} failed after {attempts} attempt(s): {last}"
+        ) from last
+
+    # -- Transport interface ------------------------------------------------
+
+    def execute(self, request, *, timeout: float | None = None):
+        started = time.monotonic()
+        response = self._request("execute", {"request": request}, timeout=timeout)
+        metrics = getattr(response, "metrics", None)
+        if metrics is not None:
+            # client-observed round trip: serialization + network + service
+            metrics.wire_time = time.monotonic() - started
+        return response
+
+    def scan(self, table, columns, filt, *, timeout: float | None = None):
+        return self._request(
+            "scan",
+            {"table": table, "columns": list(columns), "filter": filt},
+            timeout=timeout,
+        )
+
+    def upload(self, encrypted) -> None:
+        self._request("upload", {"batch": codec.pack_table(encrypted)})
+
+    def append_batch(self, table, encrypted, column_meta) -> int:
+        return int(
+            self._request(
+                "append_batch",
+                {
+                    "table": table,
+                    "batch": codec.pack_table(encrypted),
+                    "column_meta": dict(column_meta),
+                },
+            )
+        )
+
+    def table_meta(self, table: str) -> dict[str, Any] | None:
+        return self._request("table_meta", {"table": table})
+
+    def storage_bytes(self, table: str) -> int:
+        return int(self._request("storage_bytes", {"table": table}))
+
+    def save_store(
+        self,
+        table: str,
+        path: str,
+        column_meta: dict[str, str],
+        overwrite: bool = False,
+    ) -> str:
+        return self._request(
+            "save_store",
+            {
+                "table": table,
+                "path": path,
+                "column_meta": dict(column_meta),
+                "overwrite": overwrite,
+            },
+        )
+
+    def commit_state(self, table: str, payload: dict[str, Any]) -> None:
+        self._request("commit_state", {"table": table, "payload": payload})
+
+    def read_store_state(self, path: str) -> dict[str, Any]:
+        return self._request("read_store_state", {"path": path})
+
+    def read_sharded_state(self, path: str) -> dict[str, Any]:
+        return self._request("read_sharded_state", {"path": path})
+
+    def store_rows(self, table: str) -> int:
+        return int(self._request("store_rows", {"table": table}))
+
+    def truncate_store(self, table: str, committed: int) -> None:
+        self._request("truncate_store", {"table": table, "committed": committed})
+
+    def reopen(self, table: str) -> None:
+        self._request("reopen", {"table": table})
+
+    def compact(self, table: str, target_rows: int | None = None) -> dict | None:
+        return self._request("compact", {"table": table, "target_rows": target_rows})
+
+    def store_stats(self, table: str) -> dict:
+        return self._request("store_stats", {"table": table})
+
+    def generations(self, table: str) -> list[dict]:
+        return self._request("generations", {"table": table})
+
+    def rebuild_index(self, table: str) -> dict:
+        return self._request("rebuild_index", {"table": table})
+
+    def attach(self, path: str) -> dict[str, Any]:
+        return self._request("attach", {"path": path})
+
+    def attach_sharded(self, path: str) -> dict[str, Any]:
+        return self._request("attach_sharded", {"path": path})
+
+    # -- extras --------------------------------------------------------------
+
+    def ping(self) -> dict[str, Any]:
+        return self._request("ping", {})
+
+    def audit_server(self) -> dict[str, Any]:
+        """Run the keyless audit *inside the serving process* and return
+        its summary: ``{"ok", "objects_walked", "flagged"}``."""
+        return self._request("audit", {})
+
+
+def connect(
+    address: tuple[str, int] | str,
+    token: str | None = None,
+    *,
+    user: str | None = None,
+    connect_timeout: float = 10.0,
+    default_timeout: float | None = 60.0,
+    retries: int = 3,
+    backoff: float = 0.05,
+    **session_kwargs: Any,
+):
+    """Open a :class:`~repro.core.session.SeabedSession` against a remote
+    service.  ``session_kwargs`` (``master_key=``, ``mode=``, ...) are the
+    usual session arguments -- keys stay on this side of the wire."""
+    from repro.core.session import SeabedSession
+
+    transport = RemoteTransport(
+        address,
+        token,
+        user=user,
+        connect_timeout=connect_timeout,
+        default_timeout=default_timeout,
+        retries=retries,
+        backoff=backoff,
+    )
+    return SeabedSession(transport=transport, **session_kwargs)
+
+
+__all__ = ["RemoteTransport", "connect"]

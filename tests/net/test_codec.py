@@ -1,0 +1,231 @@
+"""Wire-codec round trips: arbitrary payloads survive bit-identically,
+malformed frames raise typed :class:`CodecError`s, never raw struct/json
+errors."""
+
+from __future__ import annotations
+
+import json
+import math
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import server as srv
+from repro.engine.metrics import JobMetrics, StageMetrics
+from repro.errors import CodecError
+from repro.net import codec
+
+
+def same(a, b) -> bool:
+    """Structural bit-identity, tolerating NaN and comparing arrays."""
+    if type(a) is not type(b):
+        # numpy scalar types survive exactly; int vs float must not blur.
+        return False
+    if isinstance(a, float):
+        return (math.isnan(a) and math.isnan(b)) or a == b
+    if isinstance(a, np.ndarray):
+        return a.dtype == b.dtype and a.shape == b.shape and (
+            np.array_equal(a, b) if a.dtype == object else bool((a == b).all())
+        )
+    if isinstance(a, (list, tuple)):
+        return len(a) == len(b) and all(same(x, y) for x, y in zip(a, b))
+    if isinstance(a, dict):
+        return set(a) == set(b) and all(same(a[k], b[k]) for k in a)
+    return a == b
+
+
+def roundtrip(body, kind="req"):
+    got_kind, got = codec.decode_frame(codec.encode_frame(kind, body))
+    assert got_kind == kind
+    return got
+
+
+# -- hypothesis strategies ------------------------------------------------
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**40), max_value=10**40),  # Paillier-sized bigints
+    st.floats(allow_nan=False),
+    st.text(max_size=20),
+    st.binary(max_size=64),
+)
+
+ciphertext_arrays = st.one_of(
+    # ASHE / DET ciphertexts and ORE trit words
+    st.lists(st.integers(0, 2**64 - 1), max_size=16).map(
+        lambda xs: np.array(xs, dtype=np.uint64)
+    ),
+    st.lists(st.integers(-(2**62), 2**62), max_size=16).map(
+        lambda xs: np.array(xs, dtype=np.int64)
+    ),
+    st.lists(
+        st.lists(st.integers(0, 2**64 - 1), min_size=3, max_size=3),
+        max_size=8,
+    ).map(lambda xs: np.array(xs, dtype=np.uint64).reshape(-1, 3)),
+    # Paillier big-int object columns
+    st.lists(st.integers(-(10**50), 10**50), min_size=1, max_size=6).map(
+        lambda xs: np.array(xs, dtype=object)
+    ),
+)
+
+trees = st.recursive(
+    st.one_of(scalars, ciphertext_arrays),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.lists(children, max_size=4).map(tuple),
+        st.dictionaries(
+            st.one_of(st.text(max_size=8), st.integers(), st.tuples(st.integers())),
+            children,
+            max_size=4,
+        ),
+    ),
+    max_leaves=12,
+)
+
+
+@given(trees)
+@settings(max_examples=80, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_arbitrary_payloads_roundtrip(body):
+    assert same(roundtrip(body), body)
+
+
+@given(
+    st.lists(st.integers(0, 2**64 - 1), min_size=1, max_size=64),
+    st.integers(0, 2**32),
+)
+@settings(max_examples=60, deadline=None)
+def test_ciphertext_batches_bit_identical(values, seed):
+    batch = {
+        "ashe": np.array(values, dtype=np.uint64),
+        "ore": np.array(values * 3, dtype=np.uint64)[: 3 * len(values)].reshape(-1, 3),
+        "paillier": np.array([pow(3, seed % 200 + 1, 10**30) for _ in values], dtype=object),
+        "blob": np.array(values, dtype=np.uint64).tobytes(),
+    }
+    got = roundtrip(batch)
+    assert got["ashe"].tobytes() == batch["ashe"].tobytes()
+    assert got["ore"].tobytes() == batch["ore"].tobytes()
+    assert got["blob"] == batch["blob"]
+    assert list(got["paillier"]) == list(batch["paillier"])
+
+
+@given(st.data())
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_truncation_raises_codec_error(data):
+    frame = codec.encode_frame("req", data.draw(trees))
+    cut = data.draw(st.integers(min_value=0, max_value=max(len(frame) - 1, 0)))
+    with pytest.raises(CodecError):
+        codec.decode_frame(frame[:cut])
+
+
+@given(st.data())
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_corruption_never_escapes_untyped(data):
+    frame = bytearray(codec.encode_frame("req", data.draw(trees)))
+    pos = data.draw(st.integers(min_value=4, max_value=len(frame) - 1))
+    flip = data.draw(st.integers(min_value=1, max_value=255))
+    frame[pos] ^= flip
+    try:
+        codec.decode_frame(bytes(frame))
+    except CodecError:
+        pass  # the typed outcome; a lucky flip may also decode cleanly
+
+
+# -- request/response shapes ----------------------------------------------
+
+
+def test_server_query_roundtrip():
+    q = srv.ServerQuery(
+        table="sales",
+        aggs=(
+            srv.AsheSum(column="rev_ashe", alias="s", codec="range"),
+            srv.PaillierSum(column="rev_phe", alias="p", n_squared=7**40),
+            srv.OreExtreme(kind="max", ore_column="c_ore", payload_column="c", alias="m"),
+            srv.PlainAgg(column=None, func="count", alias="n"),
+        ),
+        filter=srv.FilterAnd(
+            children=(
+                srv.DetEq(column="region_det", token=2**63 + 11, negate=True),
+                srv.FilterOr(
+                    children=(
+                        srv.OreCmp(column="c_ore", op="<", token=(1, 2, 0), nbits=32),
+                        srv.FilterNot(child=srv.DetIn(column="x", tokens=(1, 2, 3))),
+                    )
+                ),
+            )
+        ),
+        join=srv.ServerJoin(
+            build_table="dim",
+            probe_key_column="k_det",
+            build_key_column="k_det",
+            payload_columns=("d1", "d2"),
+        ),
+        group_by="region_det",
+        inflation=4,
+        compress_at="driver",
+    )
+    got = roundtrip(q)
+    assert got == q  # frozen dataclasses compare by value
+
+
+def test_server_response_roundtrip():
+    metrics = JobMetrics(job_startup=0.25, result_bytes=128, queue_wait=0.5)
+    metrics.add_stage(StageMetrics("map", [0.1, 0.2], 0.2, wall_time=0.05))
+    resp = srv.ServerResponse(
+        kind="grouped",
+        flat={"total": ("ashe", 3, [b"\x01\x02", b""], True)},
+        groups=[
+            (7, 0, {"s": ("paillier", 10**45), "m": ("extreme", 5, 2, (1, 0, 2))}),
+        ],
+        metrics=metrics,
+        payload_bytes=4096,
+    )
+    got = roundtrip(resp, kind="rep")
+    assert got.kind == resp.kind
+    assert got.flat == resp.flat
+    assert got.groups == resp.groups
+    assert got.payload_bytes == resp.payload_bytes
+    assert got.metrics.summary() == resp.metrics.summary()
+
+
+def test_unknown_dataclass_rejected():
+    frame = codec.encode_frame("req", None)
+    # splice a forged envelope naming a class outside the registry
+    env = json.dumps(
+        {"kind": "req", "buffers": [], "body": {"!": "d", "t": "KeyChain", "f": {}}}
+    ).encode()
+    payload = struct.pack("<4sHI", codec.MAGIC, codec.WIRE_VERSION, len(env)) + env
+    forged = struct.pack("<I", len(payload)) + payload
+    with pytest.raises(CodecError, match="unknown dataclass"):
+        codec.decode_frame(forged)
+    assert codec.decode_frame(frame) == ("req", None)
+
+
+def test_version_skew_rejected():
+    frame = bytearray(codec.encode_frame("req", {"a": 1}))
+    # bump the u16 version field (after u32 length + 4-byte magic)
+    frame[8:10] = struct.pack("<H", codec.WIRE_VERSION + 1)
+    with pytest.raises(CodecError, match="version skew"):
+        codec.decode_frame(bytes(frame))
+
+
+def test_bad_magic_rejected():
+    frame = bytearray(codec.encode_frame("req", {"a": 1}))
+    frame[4:8] = b"HTTP"
+    with pytest.raises(CodecError, match="magic"):
+        codec.decode_frame(bytes(frame))
+
+
+def test_trailing_garbage_rejected():
+    frame = codec.encode_frame("req", [1, 2, 3])
+    grown = struct.pack("<I", len(frame)) + frame[4:] + b"xx"
+    with pytest.raises(CodecError):
+        codec.decode_frame(grown)
+
+
+def test_unencodable_type_rejected():
+    with pytest.raises(CodecError, match="cannot encode"):
+        codec.encode_frame("req", object())

@@ -1,8 +1,10 @@
 """Unit tests for the worker transport (repro.engine.transport)."""
 
+import os
+
 import pytest
 
-from repro.engine.transport import RemoteError, WorkerDied, WorkerHandle
+from repro.engine.transport import CRASH_STATUS, RemoteError, WorkerDied, WorkerHandle
 
 
 def _arith_main(conn, base=0):
@@ -16,6 +18,13 @@ def _arith_main(conn, base=0):
         raise ValueError("intentional worker-side failure")
 
     transport.serve(conn, {"add": add, "boom": boom})
+
+
+def _suicide_main(conn):
+    """A worker that dies before serving its first request -- the
+    handshake-failure shape: the parent's pipe end is live, the child is
+    already gone."""
+    os._exit(CRASH_STATUS)
 
 
 @pytest.fixture
@@ -61,3 +70,54 @@ class TestLifecycle:
         with pytest.raises(WorkerDied):
             worker.call("add", a=1, b=1)  # second dies before replying
         assert not worker.alive
+
+
+class TestFdHygiene:
+    """A worker that dies mid-call must not leak its pipe fds.
+
+    Regression: the ``WorkerDied`` path used to join the child but leave
+    the parent-side pipe end open for the handle's lifetime, so a
+    coordinator holding handles to dead nodes (it keeps them for the
+    failover bookkeeping) accumulated one fd pair per death."""
+
+    @staticmethod
+    def _open_fds() -> int:
+        return len(os.listdir("/proc/self/fd"))
+
+    def test_handshake_death_releases_pipe_fds(self):
+        # Warm up multiprocessing's lazily created machinery (semaphore
+        # tracker, resource tracker fds) so the baseline is stable.
+        warmup = WorkerHandle("fd-warmup", _arith_main)
+        warmup.call("add", a=1, b=1)
+        warmup.shutdown()
+        baseline = self._open_fds()
+        handles = []
+        for i in range(5):
+            handle = WorkerHandle(f"fd-suicide-{i}", _suicide_main)
+            with pytest.raises(WorkerDied):
+                handle.call("add", a=1, b=1)
+            assert not handle.alive
+            handles.append(handle)  # keep referenced, as a coordinator would
+        assert self._open_fds() <= baseline
+
+    def test_mid_call_death_releases_pipe_fds(self):
+        warmup = WorkerHandle("fd-warmup-2", _arith_main)
+        warmup.call("add", a=1, b=1)
+        warmup.shutdown()
+        baseline = self._open_fds()
+        handles = []
+        for i in range(3):
+            handle = WorkerHandle(f"fd-armed-{i}", _arith_main)
+            handle.arm_exit("add", after=1)
+            with pytest.raises(WorkerDied):
+                handle.call("add", a=1, b=1)
+            handles.append(handle)
+        assert self._open_fds() <= baseline
+
+    def test_double_kill_and_call_after_kill_stay_typed(self):
+        handle = WorkerHandle("fd-double-kill", _arith_main)
+        handle.kill()
+        handle.kill()  # idempotent on a released handle
+        assert not handle.alive
+        with pytest.raises(WorkerDied):
+            handle.call("add", a=1, b=1)
