@@ -12,10 +12,18 @@ regardless of backend.
 
 Results are rendered to ``results/backend_scaling.txt`` and recorded
 machine-readably in ``BENCH_backends.json`` at the repository root.
-Speedups are hardware-dependent: a host with one usable CPU shows ~1x
-everywhere (there is nothing to overlap onto); the >= 2x threads-vs-
-serial target needs a multi-core host, which is why the JSON records the
-CPU count alongside the numbers.
+
+Two floors gate this benchmark (both recorded in the JSON and re-checked
+by CI's artifact-verification step):
+
+- **Host-independent**: the threads backend must score
+  ``speedup_vs_serial >= 0.9`` on *both* fig7 queries at any CPU count.
+  A host with one usable CPU cannot overlap work, so this is a ceiling
+  on dispatch overhead -- chunked warm-pool dispatch must cost (almost)
+  nothing, never the 0.2-0.9x *losses* the per-task submit path showed.
+- **Multi-core scaling** (8+ CPU hosts, e.g. the nightly runners):
+  threads speedup must reach ``0.7 x min(workers, cpu_count)`` on the
+  fig7 workload -- the ROADMAP's near-linear-scaling floor.
 """
 
 import json
@@ -23,7 +31,6 @@ import os
 import platform
 import time
 from pathlib import Path
-
 
 from repro.bench import ResultSink, format_table
 from repro.core.proxy import SeabedClient
@@ -34,7 +41,13 @@ from repro.workloads import synthetic
 BACKENDS = ["serial", "threads", "processes"]
 WORKERS = 8
 PARTITIONS = 64
-REPEATS = 3
+REPEATS = 9
+
+#: Dispatch-overhead ceiling: threads vs serial on both fig7 queries, any host.
+THREADS_FLOOR = 0.9
+#: Per-core scaling floor applied on hosts with 8+ CPUs (ROADMAP nightly gate).
+MULTICORE_FLOOR_PER_CORE = 0.7
+MULTICORE_MIN_CPUS = 8
 
 FULL = "SELECT sum(value) FROM synth"
 HALF = "SELECT sum(value) FROM synth WHERE sel < 500000"
@@ -58,37 +71,49 @@ def _build(backend, rows):
     return client
 
 
-def _measure(client, sql):
-    """Best-of-N measurements (real stage time, end-to-end wall, simulated).
+def _measure_once(client, sql, best):
+    """One timed query; fold the metrics into the running ``best`` dict.
 
     The best repeat is taken per metric independently so the recorded
     numbers are each a stable floor rather than one arbitrary sample.
     """
-    best = {"real_s": float("inf"), "wall_s": float("inf"),
-            "sim_server_s": float("inf")}
-    for _ in range(REPEATS):
-        t0 = time.perf_counter()
-        result = client.query(sql)
-        elapsed = time.perf_counter() - t0
-        assert result.rows, sql
-        best["real_s"] = min(best["real_s"],
-                             sum(m.real_time for m in result.request_metrics))
-        best["wall_s"] = min(best["wall_s"], elapsed)
-        best["sim_server_s"] = min(best["sim_server_s"], result.server_time)
-    return best
+    t0 = time.perf_counter()
+    result = client.query(sql)
+    elapsed = time.perf_counter() - t0
+    assert result.rows, sql
+    best["real_s"] = min(best["real_s"],
+                         sum(m.real_time for m in result.request_metrics))
+    best["wall_s"] = min(best["wall_s"], elapsed)
+    best["sim_server_s"] = min(best["sim_server_s"], result.server_time)
 
 
 def test_backend_scaling(benchmark, scale):
-    rows = scale["fig7_rows"]
-    results = {}
+    # Own scale knob (not fig7_rows): the 0.9x floor is a *ratio* gate,
+    # so each sample must be large enough that a few ms of scheduler
+    # preemption cannot move it by 10%.
+    rows = scale["backend_rows"]
+    results = {
+        b: {q: {"real_s": float("inf"), "wall_s": float("inf"),
+                "sim_server_s": float("inf")}
+            for q in ("full", "half")}
+        for b in BACKENDS
+    }
 
     def sweep():
-        for backend in BACKENDS:
-            client = _build(backend, rows)
-            results[backend] = {
-                "full": _measure(client, FULL),
-                "half": _measure(client, HALF),
-            }
+        # Repeats are *interleaved* across backends (serial, threads,
+        # processes, serial, ...) rather than run as one block per
+        # backend: machine-wide drift -- frequency scaling, a noisy
+        # neighbour -- then perturbs every backend's samples alike
+        # instead of biasing the speedup ratios, which is what the 0.9x
+        # threads floor gates on.
+        clients = {b: _build(b, rows) for b in BACKENDS}
+        for client in clients.values():
+            client.query(FULL)  # warm pools and the translation cache
+        for _ in range(REPEATS):
+            for b, client in clients.items():
+                _measure_once(client, FULL, results[b]["full"])
+                _measure_once(client, HALF, results[b]["half"])
+        for client in clients.values():
             client.cluster.close()
 
     benchmark.pedantic(sweep, rounds=1, iterations=1)
@@ -126,6 +151,13 @@ def test_backend_scaling(benchmark, scale):
             ),
         ))
 
+    cpus = os.cpu_count() or 1
+    floors = {"threads_speedup_vs_serial": THREADS_FLOOR}
+    if cpus >= MULTICORE_MIN_CPUS:
+        floors["multicore_threads_speedup"] = (
+            MULTICORE_FLOOR_PER_CORE * min(WORKERS, cpus)
+        )
+
     record = {
         "workload": "fig7-aggregation",
         "rows": rows,
@@ -142,6 +174,7 @@ def test_backend_scaling(benchmark, scale):
         "speedup_vs_serial": {
             b: speedups[b] for b in BACKENDS if b != "serial"
         },
+        "floors": floors,
     }
     out = Path(__file__).resolve().parents[1] / "BENCH_backends.json"
     out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
@@ -152,6 +185,20 @@ def test_backend_scaling(benchmark, scale):
     sims = [results[b]["full"]["sim_server_s"] for b in BACKENDS]
     assert max(sims) < min(sims) * 5
 
-    # Real-speedup targets only make sense when the host can overlap work.
-    if (os.cpu_count() or 1) >= 8:
-        assert max(s["full"] for b, s in speedups.items() if b != "serial") >= 2.0
+    # Host-independent floor: warm chunked dispatch may not *lose* to
+    # serial, on any machine -- even one with a single usable CPU.
+    for q in ("full", "half"):
+        assert speedups["threads"][q] >= THREADS_FLOOR, (
+            f"threads backend lost to serial on the {q} query: "
+            f"{speedups['threads'][q]:.2f}x < {THREADS_FLOOR}x"
+        )
+
+    # Multi-core scaling floor (the ROADMAP's nightly gate): only
+    # meaningful when the host can actually overlap work.
+    if cpus >= MULTICORE_MIN_CPUS:
+        target = floors["multicore_threads_speedup"]
+        best = max(speedups["threads"].values())
+        assert best >= target, (
+            f"threads backend scaled {best:.2f}x on {cpus} CPUs; "
+            f"floor is {target:.2f}x (0.7 x {min(WORKERS, cpus)} cores)"
+        )

@@ -11,11 +11,15 @@ delivers:
    every fresh process paid before the store existed).
 
 2. **Stage dispatch volume on the ``processes`` backend** -- the bytes a
-   stage pickles to pool workers per query: whole partitions for an
-   in-memory table vs ``(path, index)`` refs for a store-backed one
-   (workers mmap their slice locally).  Measured with the backend's
-   ``track_dispatch`` hook over the identical aggregation query; the
-   acceptance floor is a >= 10x reduction.
+   stage pickles to pool workers per query, measured with the backend's
+   ``track_dispatch`` hook over the identical aggregation query, in
+   three configurations: pickled whole partitions (in-memory table with
+   ``spill_to_store=False`` -- the historical baseline), the zero-copy
+   *auto-spill* path (in-memory table, default config: the server spills
+   it to a scratch mmap store on register and dispatches
+   ``PartitionRef``s), and an explicitly store-backed table.  The
+   acceptance floor is a >= 10x reduction vs the pickled baseline for
+   both ref-shipping paths.
 
 Results go to ``results/store_io.txt`` and machine-readably to
 ``BENCH_store.json`` at the repository root.
@@ -57,14 +61,18 @@ def _schema(rows: int) -> tuple[TableSchema, dict[str, np.ndarray]]:
     return schema, columns
 
 
-def _fresh_session(backend: str = "serial") -> SeabedSession:
-    cluster = SimulatedCluster(ClusterConfig(backend=backend, workers=WORKERS))
+def _fresh_session(backend: str = "serial", spill: bool = True) -> SeabedSession:
+    cluster = SimulatedCluster(ClusterConfig(
+        backend=backend, workers=WORKERS, spill_to_store=spill,
+    ))
     return SeabedSession(mode="seabed", master_key=MASTER_KEY, cluster=cluster)
 
 
-def _build_and_upload(rows: int, backend: str = "serial") -> tuple[SeabedSession, float]:
+def _build_and_upload(
+    rows: int, backend: str = "serial", spill: bool = True
+) -> tuple[SeabedSession, float]:
     schema, columns = _schema(rows)
-    session = _fresh_session(backend)
+    session = _fresh_session(backend, spill)
     t0 = time.perf_counter()
     session.create_plan(schema, ["SELECT sum(value) FROM synth"])
     session.upload("synth", columns, num_partitions=PARTITIONS)
@@ -117,9 +125,16 @@ def test_store_io(benchmark, scale):
             attach.cluster.close()
 
             # -- dispatch volume under the processes backend ----------------
-            inmem, _ = _build_and_upload(rows, backend="processes")
+            # Baseline: spilling disabled, stages pickle whole partitions.
+            inmem, _ = _build_and_upload(rows, backend="processes", spill=False)
             inmem_bytes = _measure_dispatch(inmem)
             inmem.cluster.close()
+
+            # Default config: the server auto-spills the uploaded table to
+            # a scratch mmap store, so dispatch ships refs.
+            spilled, _ = _build_and_upload(rows, backend="processes")
+            autospill_bytes = _measure_dispatch(spilled)
+            spilled.cluster.close()
 
             mapped = _fresh_session(backend="processes")
             mapped.open_table(path)
@@ -139,8 +154,10 @@ def test_store_io(benchmark, scale):
                     "query": QUERY,
                     "workers": WORKERS,
                     "inmemory_bytes": inmem_bytes,
+                    "autospill_bytes": autospill_bytes,
                     "store_bytes": store_dispatch_bytes,
                     "reduction_x": inmem_bytes / max(store_dispatch_bytes, 1),
+                    "autospill_reduction_x": inmem_bytes / max(autospill_bytes, 1),
                     "target_x": DISPATCH_TARGET,
                 },
             )
@@ -174,8 +191,10 @@ def test_store_io(benchmark, scale):
         sink.emit(format_table(
             ["Dispatch payload per query (processes backend)", "bytes"],
             [
-                ["in-memory partitions (pickled columns)",
+                ["in-memory partitions, spill off (pickled columns)",
                  record["dispatch"]["inmemory_bytes"]],
+                ["in-memory partitions, auto-spilled (refs, workers mmap)",
+                 record["dispatch"]["autospill_bytes"]],
                 ["store-backed partitions (refs, workers mmap)",
                  record["dispatch"]["store_bytes"]],
             ],
@@ -192,4 +211,9 @@ def test_store_io(benchmark, scale):
     assert reduction >= DISPATCH_TARGET, (
         f"store-backed dispatch is only {reduction:.1f}x smaller "
         f"(target {DISPATCH_TARGET:.0f}x)"
+    )
+    autospill = record["dispatch"]["autospill_reduction_x"]
+    assert autospill >= DISPATCH_TARGET, (
+        f"auto-spilled dispatch is only {autospill:.1f}x smaller than "
+        f"pickled columns (target {DISPATCH_TARGET:.0f}x)"
     )

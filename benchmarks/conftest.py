@@ -22,6 +22,7 @@ SCALES = {
     # meaningful (BENCH_QUICK=1).
     "quick": {
         "fig6_rows": [20_000, 40_000],
+        "backend_rows": 600_000,
         "fig7_rows": 120_000,
         "fig8_rows": 60_000,
         "fig9a_rows": 60_000,
@@ -37,9 +38,11 @@ SCALES = {
         "shard_rows": 60_000,
         "service_rows": 20_000,
         "service_sessions": 4,
+        "kernel_rows": 200_000,
     },
     "small": {
         "fig6_rows": [50_000, 100_000, 200_000, 400_000],
+        "backend_rows": 1_000_000,
         "fig7_rows": 400_000,
         "fig8_rows": 400_000,
         "fig9a_rows": 200_000,
@@ -55,9 +58,11 @@ SCALES = {
         "shard_rows": 400_000,
         "service_rows": 60_000,
         "service_sessions": 6,
+        "kernel_rows": 1_000_000,
     },
     "medium": {
         "fig6_rows": [250_000, 500_000, 1_000_000, 2_000_000],
+        "backend_rows": 2_000_000,
         "fig7_rows": 2_000_000,
         "fig8_rows": 2_000_000,
         "fig9a_rows": 1_000_000,
@@ -73,9 +78,11 @@ SCALES = {
         "shard_rows": 1_000_000,
         "service_rows": 200_000,
         "service_sessions": 8,
+        "kernel_rows": 4_000_000,
     },
     "large": {
         "fig6_rows": [1_000_000, 2_000_000, 4_000_000, 8_000_000],
+        "backend_rows": 8_000_000,
         "fig7_rows": 8_000_000,
         "fig8_rows": 8_000_000,
         "fig9a_rows": 4_000_000,
@@ -91,6 +98,7 @@ SCALES = {
         "shard_rows": 4_000_000,
         "service_rows": 500_000,
         "service_sessions": 8,
+        "kernel_rows": 8_000_000,
     },
 }
 

@@ -112,7 +112,7 @@ class DecryptionModule:
             elif kind == "paillier":
                 if self._paillier is None:
                     raise DecryptionError("paillier scan without a scheme")
-                decoded[name] = [self._paillier.decrypt_crt(int(c)) for c in raw]
+                decoded[name] = self._paillier.decrypt_column(raw).tolist()
             else:
                 plan = self._state.enc_schema.plan(name)
                 det = self._factory.det(col, getattr(plan, "join_group", None))
@@ -275,22 +275,29 @@ class DecryptionModule:
     # -- grouped results -------------------------------------------------------------
 
     def _decode_group_key(self, tq: TranslatedQuery, key: int) -> Any:
+        return self._decode_group_keys(tq, [key])[key]
+
+    def _decode_group_keys(self, tq: TranslatedQuery, keys: list[int]) -> dict[int, Any]:
+        """Decode every group key in one batch-kernel call (key -> value)."""
         dim = tq.group_dim
         assert dim is not None
         spec = self._state.schema.column(dim)
+        arr = np.fromiter(keys, dtype=np.uint64, count=len(keys))
         if tq.group_decode == "plain":
-            code = to_signed(key)
-            if spec.dtype == "str":
-                return self._state.dictionaries[dim].value(code)
-            return code
-        if tq.group_decode == "det":
+            codes = arr.view(np.int64)
+        elif tq.group_decode == "det":
             plan = self._state.enc_schema.plan(dim)
             det = self._factory.det(plan.cipher_column, getattr(plan, "join_group", None))
-            code = to_signed(det.decrypt_one(key))
-            if spec.dtype == "str":
-                return self._state.dictionaries[dim].value(code)
-            return code
-        raise DecryptionError(f"unknown group decode {tq.group_decode!r}")
+            codes = det.decrypt_column(arr)
+        else:
+            raise DecryptionError(f"unknown group decode {tq.group_decode!r}")
+        if spec.dtype == "str":
+            dictionary = self._state.dictionaries[dim]
+            return {
+                k: dictionary.value(c)
+                for k, c in zip(keys, codes.tolist())
+            }
+        return dict(zip(keys, codes.tolist()))
 
     @staticmethod
     def _merge_group_payloads(
@@ -382,14 +389,16 @@ class DecryptionModule:
         for per_key in merged.values():
             all_keys.update(per_key)
         ashe_cache = self._batch_decrypt_ashe_groups(merged, agg_index)
+        sorted_keys = sorted(all_keys)
+        key_values = self._decode_group_keys(tq, sorted_keys)
 
         rows: list[dict[str, Any]] = []
-        for key in sorted(all_keys):
+        for key in sorted_keys:
             row: dict[str, Any] = {}
             non_empty = False
             for item in tq.outputs:
                 if item.kind == "group_key":
-                    row[item.name] = self._decode_group_key(tq, key)
+                    row[item.name] = key_values[key]
                     continue
                 value = self._assemble_group_item(
                     item, key, merged, agg_index, ashe_cache
@@ -488,9 +497,10 @@ class DecryptionModule:
             response = responses[tq.group_request]
             merged = self._merge_group_payloads(response, agg_index[tq.group_request])
             det = self._factory.det(plan.det_column)  # type: ignore[union-attr]
-            for key, payloads in merged.items():
-                code = to_signed(det.decrypt_one(key))
-                others_by_code[int(code)] = payloads
+            keys = list(merged)
+            codes = det.decrypt_column(np.fromiter(keys, dtype=np.uint64, count=len(keys)))
+            for key, code in zip(keys, codes.tolist()):
+                others_by_code[int(code)] = merged[key]
 
         def cell_value(item: OutputItem, role: str, code: int) -> Any:
             ref = item.splashe.get(role, {}).get(code)

@@ -32,6 +32,8 @@ Supported physical operations:
 
 from __future__ import annotations
 
+import itertools
+import os
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
@@ -41,9 +43,15 @@ from repro.crypto import ore as ore_mod
 from repro.crypto.prf import MASK64
 from repro.engine.cluster import SimulatedCluster
 from repro.engine.metrics import JobMetrics
-from repro.engine.store import PartitionRef, dispatch_payload, resolve_partition
+from repro.engine.store import (
+    PartitionRef,
+    dispatch_payload,
+    open_store,
+    resolve_partition,
+    write_store,
+)
 from repro.engine.table import Partition, Table
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, StorageError
 from repro.idlist import IdList, get_codec
 from repro.idlist.codec import encode_groups_vb_diff, encode_multiset
 from repro.index import prune
@@ -438,9 +446,36 @@ class SeabedServer:
         # locally registered Table; execute()/scan() delegate by name, so
         # the whole prepared-query/translation layer above is untouched.
         self._sharded: dict[str, Any] = {}
+        self._spill_seq = itertools.count()
 
     def register(self, table: Table) -> None:
-        self._tables[table.name] = table
+        self._tables[table.name] = self._spill_if_needed(table)
+
+    def _spill_if_needed(self, table: Table) -> Table:
+        """Give in-memory tables an mmap store backing under the
+        ``processes`` backend.
+
+        Process-pool workers resolve ``PartitionRef(path, index,
+        generation)`` against their own reader cache, so stage dispatch
+        ships a few dozen bytes per partition instead of pickled
+        ciphertext columns -- the zero-copy contract store-backed tables
+        already enjoy.  Spilling is best-effort: a table with columns the
+        store cannot hold stays in memory (and pays the pickling cost).
+        """
+        cfg = self.cluster.config
+        if cfg.backend != "processes" or not cfg.spill_to_store:
+            return table
+        if not table.partitions or all(p.ref is not None for p in table.partitions):
+            return table
+        path = os.path.join(
+            self.cluster.scratch_dir(),
+            f"spill-{table.name}-{next(self._spill_seq)}",
+        )
+        try:
+            write_store(table, path)
+        except StorageError:
+            return table
+        return open_store(path)
 
     def unregister(self, name: str) -> None:
         """Drop a registered table (and its compiled zone maps), if any."""
@@ -896,23 +931,8 @@ def _ids_from_mask(row_ids: np.ndarray, mask: np.ndarray | None) -> IdList:
 
 
 def _ore_tournament(cipher: np.ndarray, kind: str) -> int:
-    """Index of the min/max row using O(log n) vectorised compare passes."""
-    indices = np.arange(cipher.shape[0], dtype=np.int64)
-    current = cipher
-    while indices.size > 1:
-        half = indices.size // 2
-        a = current[:half]
-        b = current[half : 2 * half]
-        cmp = ore_mod.compare_packed_arrays(a, b)
-        pick_b = cmp < 0 if kind == "max" else cmp > 0
-        winner_idx = np.where(pick_b, indices[half : 2 * half], indices[:half])
-        winner_ct = np.where(pick_b[:, None], b, a)
-        if indices.size % 2:
-            winner_idx = np.append(winner_idx, indices[-1])
-            winner_ct = np.vstack([winner_ct, current[-1:]])
-        indices = winner_idx
-        current = winner_ct
-    return int(indices[0])
+    """Index of the min/max row (the shared vectorised kernel tournament)."""
+    return ore_mod.argextreme_packed(cipher, kind)
 
 
 def _ore_quickselect(

@@ -2,8 +2,14 @@
 
 Modules:
 
+- :mod:`repro.crypto.kernel` -- the batch :class:`Kernel` protocol every
+  scheme implements (``encrypt_column`` / ``decrypt_column`` /
+  ``compare_column`` / ``pad_range``, array-in / array-out), the
+  plaintext :class:`PlainKernel`, and the warn-once deprecation helper
+  for the legacy per-value entry points.
 - :mod:`repro.crypto.prf` -- keyed pseudo-random functions (BLAKE2b,
-  vectorised SplitMix64 family, AES-CTR).
+  vectorised SplitMix64 family, from-scratch AES-CTR, and the batch
+  AES-NI path through the ``cryptography`` package).
 - :mod:`repro.crypto.aes` -- from-scratch FIPS-197 AES-128 with CTR mode.
 - :mod:`repro.crypto.ashe` -- the paper's additively symmetric homomorphic
   encryption scheme (Section 3.1).
@@ -18,23 +24,47 @@ Modules:
 
 from repro.crypto.ashe import AsheCiphertext, AsheScheme
 from repro.crypto.det import DetScheme, DictionaryEncoder
+from repro.crypto.kernel import (
+    KERNEL_OPS,
+    Kernel,
+    KernelUnsupported,
+    PlainKernel,
+    kernel_ops,
+    validate_kernel,
+)
 from repro.crypto.keys import KeyChain
 from repro.crypto.ore import OreScheme
 from repro.crypto.paillier import PaillierKeyPair, PaillierScheme
-from repro.crypto.prf import AesCtrPrf, Blake2Prf, Prf, SplitMix64Prf, prf_from_name
+from repro.crypto.prf import (
+    HAVE_AESNI,
+    AesCtrPrf,
+    AesNiCtrPrf,
+    Blake2Prf,
+    Prf,
+    SplitMix64Prf,
+    prf_from_name,
+)
 
 __all__ = [
     "AesCtrPrf",
+    "AesNiCtrPrf",
     "AsheCiphertext",
     "AsheScheme",
     "Blake2Prf",
     "DetScheme",
     "DictionaryEncoder",
+    "HAVE_AESNI",
+    "KERNEL_OPS",
+    "Kernel",
+    "KernelUnsupported",
     "KeyChain",
     "OreScheme",
     "PaillierKeyPair",
     "PaillierScheme",
+    "PlainKernel",
     "Prf",
     "SplitMix64Prf",
+    "kernel_ops",
     "prf_from_name",
+    "validate_kernel",
 ]

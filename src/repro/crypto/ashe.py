@@ -23,8 +23,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.crypto.kernel import warn_deprecated_once
 from repro.crypto.prf import MASK64, Prf
-from repro.errors import CryptoError, DecryptionError
+from repro.errors import CryptoError, DecryptionError, KernelUnsupported
 from repro.idlist import IdList
 
 _U64 = np.uint64
@@ -83,6 +84,10 @@ class AsheScheme:
     Identifier 0 is allowed; its pad reaches back to ``F_k(2^64 - 1)``.
     """
 
+    #: Kernel-protocol ops this scheme cannot provide: ASHE ciphertexts
+    #: reveal no order, so there is no compare.
+    KERNEL_UNSUPPORTED = frozenset({"compare_column"})
+
     def __init__(self, prf: Prf):
         self._prf = prf
         self.prf_evals = 0  # running count, for the paper's AES-op statistic
@@ -95,10 +100,24 @@ class AsheScheme:
         with self._evals_lock:
             self.prf_evals += evals
 
-    # -- scalar interface ------------------------------------------------
+    # -- scalar interface (deprecated shim + reference path) ----------------
 
     def encrypt(self, m: int, i: int) -> AsheCiphertext:
-        """Encrypt one value under identifier ``i``."""
+        """Deprecated per-value entry point; use :meth:`encrypt_column`."""
+        warn_deprecated_once(
+            "AsheScheme.encrypt",
+            "AsheScheme.encrypt(m, i) is deprecated; encrypt whole columns "
+            "with the batch kernel AsheScheme.encrypt_column(values, start_id)",
+        )
+        return self._encrypt_one(m, i)
+
+    def _encrypt_one(self, m: int, i: int) -> AsheCiphertext:
+        """Per-row reference path: two scalar PRF evaluations, no batching.
+
+        Retained (without a deprecation warning) as the ground truth the
+        property tests and kernel microbenchmarks compare the batch
+        kernels against.
+        """
         pad = self._prf.eval_one(i) - self._prf.eval_one((i - 1) & MASK64)
         self._bump(2)
         return AsheCiphertext((from_signed(m) - pad) & MASK64, IdList.from_range(i, i + 1))
@@ -112,40 +131,57 @@ class AsheScheme:
 
     # -- vectorised column interface --------------------------------------
 
-    def encrypt_column(self, values: np.ndarray, start_id: int) -> np.ndarray:
+    def pad_range(self, start_id: int, count: int) -> np.ndarray:
+        """Pad stream ``F(i) - F(i-1)`` for IDs ``start_id..start_id+count-1``.
+
+        One contiguous PRF stream of ``count + 1`` evaluations covers every
+        pad, because adjacent rows share a boundary evaluation -- this is
+        the per-partition precomputation that makes whole-column ASHE
+        encryption and decryption a single vectorised pass.
+        """
+        if count < 0:
+            raise CryptoError(f"negative pad range count: {count}")
+        if count == 0:
+            return np.empty(0, _U64)
+        stream = self._prf.eval_range(start_id - 1, count + 1)
+        self._bump(count + 1)
+        return stream[1:] - stream[:-1]
+
+    def encrypt_column(self, values: np.ndarray, start_id: int = 0) -> np.ndarray:
         """Encrypt a column whose rows get IDs ``start_id .. start_id+n-1``.
 
         Returns the uint64 ciphertext array; the IDs are implicit (the
-        caller records ``start_id``).  One PRF stream of ``n+1`` values
-        covers all pads because adjacent rows share a boundary evaluation.
+        caller records ``start_id``).
         """
         v = np.asarray(values)
         if v.ndim != 1:
             raise CryptoError("encrypt_column expects a 1-D array")
-        n = v.size
-        if n == 0:
+        if v.size == 0:
             return np.empty(0, _U64)
         plain = v.astype(np.int64, copy=False).view(_U64) if v.dtype != _U64 else v
-        stream = self._prf.eval_range(start_id - 1, n + 1)
-        self._bump(n + 1)
-        # c[j] = m[j] - F(start+j) + F(start+j-1)
-        return plain - stream[1:] + stream[:-1]
+        # c[j] = m[j] - (F(start+j) - F(start+j-1))
+        return plain - self.pad_range(start_id, v.size)
 
-    def decrypt_column(self, cipher: np.ndarray, start_id: int) -> np.ndarray:
+    def decrypt_column(self, cipher: np.ndarray, start_id: int = 0) -> np.ndarray:
         """Invert :meth:`encrypt_column`; returns int64 plaintexts."""
         c = np.asarray(cipher, dtype=_U64)
-        stream = self._prf.eval_range(start_id - 1, c.size + 1)
-        self._bump(c.size + 1)
-        return (c + stream[1:] - stream[:-1]).view(np.int64)
+        if c.size == 0:
+            return np.empty(0, np.int64)
+        return (c + self.pad_range(start_id, c.size)).view(np.int64)
+
+    def compare_column(self, cipher: np.ndarray, token) -> np.ndarray:
+        """ASHE reveals no order; the Kernel op is structurally absent."""
+        raise KernelUnsupported("ASHE ciphertexts do not support comparison")
 
     def decrypt_rows(self, cipher: np.ndarray, ids: np.ndarray) -> np.ndarray:
-        """Decrypt scattered single rows (scan results): two PRF
-        evaluations per row, no telescoping."""
+        """Decrypt scattered single rows (scan results).
+
+        Dense ID sets ride the contiguous pad stream (see
+        :meth:`_pads_for`); truly scattered rows pay two PRF evaluations
+        each.
+        """
         c = np.asarray(cipher, dtype=_U64)
-        arr = np.asarray(ids, dtype=_U64)
-        pads = self._prf.eval_many(arr) - self._prf.eval_many(arr - _ONE)
-        self._bump(2 * arr.size)
-        return (c + pads).view(np.int64)
+        return (c + self._pads_for(np.asarray(ids, dtype=_U64))).view(np.int64)
 
     def aggregate(
         self, cipher: np.ndarray, mask: np.ndarray | None, start_id: int
@@ -184,39 +220,52 @@ class AsheScheme:
         The batched group-decryption path segments this array per group
         with ``np.add.reduceat`` instead of paying per-group call overhead.
         """
-        arr = np.asarray(ids, dtype=_U64)
-        if arr.size == 0:
-            return np.empty(0, _U64)
-        pads = self._prf.eval_many(arr) - self._prf.eval_many(arr - _ONE)
-        self._bump(2 * arr.size)
-        return pads
+        return self._pads_for(np.asarray(ids, dtype=_U64))
 
     def pad_for_multiset(self, ids: np.ndarray) -> int:
         """Pad correction for a duplicate-bearing ID array (join results)."""
         arr = np.asarray(ids, dtype=_U64)
         if arr.size == 0:
             return 0
-        pads = self._prf.eval_many(arr) - self._prf.eval_many(arr - _ONE)
-        self._bump(2 * arr.size)
-        return int(np.add.reduce(pads)) & MASK64
+        return int(np.add.reduce(self._pads_for(arr))) & MASK64
 
     def decrypt_sum_multiset(self, value: int, ids: np.ndarray) -> int:
         """Decrypt an aggregate whose ID collection contains duplicates.
 
         Joins replicate build-side rows, so their identifiers form a true
-        multiset (Section 3.1); each occurrence contributes its own pad.
-        Costs two PRF evaluations per occurrence -- no telescoping -- which
-        is why the paper's join-heavy queries see smaller speedups.
+        multiset (Section 3.1); each occurrence contributes its own pad,
+        which is why the paper's join-heavy queries see smaller speedups.
         """
         arr = np.asarray(ids, dtype=_U64)
         if arr.size == 0:
             return to_signed(value)
-        pads = self._prf.eval_many(arr) - self._prf.eval_many(arr - _ONE)
-        self._bump(2 * arr.size)
-        total = int(np.add.reduce(pads)) & MASK64
+        total = int(np.add.reduce(self._pads_for(arr))) & MASK64
         return to_signed((value + total) & MASK64)
 
     # -- internals ---------------------------------------------------------
+
+    def _pads_for(self, arr: np.ndarray) -> np.ndarray:
+        """Per-ID pads for an arbitrary uint64 ID array.
+
+        Two strategies, chosen by density.  Scan results and group decodes
+        are usually *dense* (most of a partition survives the filter), so
+        one contiguous :meth:`pad_range` stream over ``[min, max]`` costs
+        ``span + 1`` PRF evaluations with every adjacent pair sharing a
+        boundary -- instead of two scattered evaluations per row.  The
+        stream path is taken only when ``span + 1 <= 2 * n``, so it never
+        evaluates the PRF more often than the scattered path would.
+        """
+        if arr.size == 0:
+            return np.empty(0, _U64)
+        lo = int(arr.min())
+        hi = int(arr.max())
+        span = hi - lo + 1
+        if span + 1 <= 2 * arr.size:
+            stream = self.pad_range(lo, span)
+            return stream[arr - _U64(lo)]
+        pads = self._prf.eval_many(arr) - self._prf.eval_many(arr - _ONE)
+        self._bump(2 * arr.size)
+        return pads
 
     def _pad_sum(self, ids: IdList) -> int:
         """``sum_{i in S} (F(i) - F(i-1))`` = ``sum_runs F(end) - F(start-1)``."""

@@ -28,8 +28,9 @@ from typing import Hashable, Iterable, Sequence
 
 import numpy as np
 
+from repro.crypto.kernel import warn_deprecated_once
 from repro.crypto.prf import MASK64
-from repro.errors import CryptoError
+from repro.errors import CryptoError, KernelUnsupported
 
 _U64 = np.uint64
 _MASK32 = 0xFFFFFFFF
@@ -58,6 +59,10 @@ class DetScheme:
     """Deterministic 64-bit PRP: 4-round Feistel over 32-bit halves."""
 
     ROUNDS = 4
+
+    #: Kernel-protocol ops this scheme cannot provide: DET is a
+    #: permutation with no additive mask stream.
+    KERNEL_UNSUPPORTED = frozenset({"pad_range"})
 
     def __init__(self, key: bytes, backend: str = "fast"):
         if len(key) < 16:
@@ -98,16 +103,39 @@ class DetScheme:
             out[j] = self._round_int(r, h)
         return out
 
-    # -- scalar API ----------------------------------------------------------
+    # -- scalar API (deprecated shims + reference path) ----------------------
 
     def encrypt_one(self, m: int) -> int:
-        """Encrypt one 64-bit value; deterministic under the key."""
+        """Deprecated per-value entry point; use :meth:`encrypt_column`."""
+        warn_deprecated_once(
+            "DetScheme.encrypt_one",
+            "DetScheme.encrypt_one(m) is deprecated; encrypt whole columns "
+            "with the batch kernel DetScheme.encrypt_column(values) "
+            "(query constants go through token())",
+        )
+        return self._encrypt_one(m)
+
+    def decrypt_one(self, c: int) -> int:
+        """Deprecated per-value entry point; use :meth:`decrypt_column`."""
+        warn_deprecated_once(
+            "DetScheme.decrypt_one",
+            "DetScheme.decrypt_one(c) is deprecated; decrypt whole columns "
+            "with the batch kernel DetScheme.decrypt_column(cipher)",
+        )
+        return self._decrypt_one(c)
+
+    def _encrypt_one(self, m: int) -> int:
+        """Per-row reference path: encrypt one 64-bit value.
+
+        Retained without a warning as the ground truth for the property
+        tests, the kernel microbenchmark, and :meth:`token`.
+        """
         left, right = (m >> 32) & _MASK32, m & _MASK32
         for r in range(self.ROUNDS):
             left, right = right, left ^ self._round_int(r, right)
         return (left << 32) | right
 
-    def decrypt_one(self, c: int) -> int:
+    def _decrypt_one(self, c: int) -> int:
         left, right = (c >> 32) & _MASK32, c & _MASK32
         for r in reversed(range(self.ROUNDS)):
             left, right = right ^ self._round_int(r, left), left
@@ -115,8 +143,12 @@ class DetScheme:
 
     # -- vectorised API --------------------------------------------------------
 
-    def encrypt_column(self, values: np.ndarray) -> np.ndarray:
-        """Encrypt an int column (codes) into uint64 DET ciphertexts."""
+    def encrypt_column(self, values: np.ndarray, start_id: int = 0) -> np.ndarray:
+        """Encrypt an int column (codes) into uint64 DET ciphertexts.
+
+        ``start_id`` is accepted for Kernel-protocol uniformity and
+        ignored: DET ciphertexts do not depend on row identity.
+        """
         v = np.asarray(values)
         x = v.astype(np.int64, copy=False).view(_U64) if v.dtype != _U64 else v
         left = x >> _U64(32)
@@ -125,7 +157,7 @@ class DetScheme:
             left, right = right, left ^ self._round_np(r, right)
         return (left << _U64(32)) | right
 
-    def decrypt_column(self, cipher: np.ndarray) -> np.ndarray:
+    def decrypt_column(self, cipher: np.ndarray, start_id: int = 0) -> np.ndarray:
         c = np.asarray(cipher, dtype=_U64)
         left = c >> _U64(32)
         right = c & _U64(_MASK32)
@@ -133,9 +165,22 @@ class DetScheme:
             left, right = right ^ self._round_np(r, left), left
         return ((left << _U64(32)) | right).view(np.int64)
 
+    def compare_column(self, cipher: np.ndarray, token) -> np.ndarray:
+        """Equality of a ciphertext column against one token, as int8.
+
+        DET reveals equality only, so the result is 0 (equal) or 1
+        (unequal) -- never the ordering sign the ORE kernel produces.
+        """
+        c = np.asarray(cipher, dtype=_U64)
+        return np.where(c == _U64(int(token)), 0, 1).astype(np.int8)
+
+    def pad_range(self, start_id: int, count: int) -> np.ndarray:
+        """DET has no additive mask stream."""
+        raise KernelUnsupported("DET has no pad stream")
+
     def token(self, m: int) -> int:
         """Equality token for a query constant (same as encryption)."""
-        return self.encrypt_one(m)
+        return self._encrypt_one(m)
 
 
 class DictionaryEncoder:

@@ -1,0 +1,160 @@
+"""The batch crypto-kernel protocol: array-in / array-out primitives.
+
+Seabed's performance story (Table 1, Figures 6-7) only holds when the
+crypto primitives are *batch* operations over whole columns -- the same
+lesson the "Computing on Masked Data" line of work draws for masked-data
+analytics.  Every scheme in this package therefore implements one uniform
+:class:`Kernel` protocol:
+
+- ``encrypt_column(values, start_id=0)`` -- encrypt a whole column.
+  ``start_id`` is the first row identifier; schemes whose ciphertexts do
+  not depend on row identity (DET, ORE, Paillier, plain) accept and
+  ignore it.
+- ``decrypt_column(cipher, start_id=0)`` -- the inverse.
+- ``compare_column(cipher, token)`` -- server-side predicate evaluation
+  of a whole ciphertext column against one query token, with no key
+  material.
+- ``pad_range(start_id, count)`` -- the per-row pad stream for a
+  contiguous identifier range (ASHE's telescoping masks; zeros for
+  plaintext).
+
+Operations that are cryptographically meaningless for a scheme (ORE
+cannot be decrypted, Paillier reveals no order) raise
+:class:`~repro.errors.KernelUnsupported`; each scheme declares them in
+``KERNEL_UNSUPPORTED`` so capability checks need no trial calls.
+
+The historical per-value entry points (``encrypt_one`` / ``decrypt_one``
+/ ``encrypt(m, i)``) survive as warn-once deprecation shims built on
+:func:`warn_deprecated_once` -- the same pattern as the
+``SeabedClient.server`` shim -- and double as the *reference path* the
+property tests and ``benchmarks/bench_kernels.py`` measure the batch
+kernels against.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.errors import CryptoError, KernelUnsupported
+
+_U64 = np.uint64
+
+#: The four batch-kernel operations, in protocol order.
+KERNEL_OPS = ("encrypt_column", "decrypt_column", "compare_column", "pad_range")
+
+
+@runtime_checkable
+class Kernel(Protocol):
+    """Structural type for a batch crypto kernel (see module docstring)."""
+
+    def encrypt_column(self, values: np.ndarray, start_id: int = 0) -> np.ndarray:
+        ...
+
+    def decrypt_column(self, cipher: np.ndarray, start_id: int = 0) -> np.ndarray:
+        ...
+
+    def compare_column(self, cipher: np.ndarray, token) -> np.ndarray:
+        ...
+
+    def pad_range(self, start_id: int, count: int) -> np.ndarray:
+        ...
+
+
+def kernel_ops(kernel: object) -> dict[str, bool]:
+    """Which of the four kernel ops ``kernel`` actually supports.
+
+    Uses the scheme's declared ``KERNEL_UNSUPPORTED`` set -- no trial
+    calls, so probing a capability never costs an exception.
+    """
+    unsupported = frozenset(getattr(kernel, "KERNEL_UNSUPPORTED", ()))
+    return {op: op not in unsupported for op in KERNEL_OPS}
+
+
+def validate_kernel(kernel: object) -> None:
+    """Raise :class:`CryptoError` unless ``kernel`` satisfies the protocol."""
+    if not isinstance(kernel, Kernel):
+        missing = [op for op in KERNEL_OPS if not callable(getattr(kernel, op, None))]
+        raise CryptoError(
+            f"{type(kernel).__name__} does not implement the Kernel protocol "
+            f"(missing: {', '.join(missing) or 'nothing?'})"
+        )
+
+
+# -- warn-once deprecation shims --------------------------------------------
+
+_WARNED: set[str] = set()
+_WARNED_LOCK = threading.Lock()
+
+
+def warn_deprecated_once(key: str, message: str, *, stacklevel: int = 3) -> None:
+    """Emit ``DeprecationWarning`` the first time ``key`` is seen.
+
+    Per-value crypto entry points sit on hot paths; warning on every call
+    would flood the log, so each deprecated entry point warns exactly once
+    per process (mirroring the ``SeabedClient.server`` shim).
+    """
+    with _WARNED_LOCK:
+        if key in _WARNED:
+            return
+        _WARNED.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget which deprecation keys have fired (test isolation helper)."""
+    with _WARNED_LOCK:
+        _WARNED.clear()
+
+
+# -- the trivial kernel ------------------------------------------------------
+
+
+class PlainKernel:
+    """The identity "scheme": plaintext columns behind the Kernel protocol.
+
+    The NoEnc baseline flows through the same batch interface as the
+    encrypted schemes, so the execution tier has exactly one calling
+    convention regardless of mode.
+    """
+
+    KERNEL_UNSUPPORTED: frozenset[str] = frozenset()
+
+    def encrypt_column(self, values: np.ndarray, start_id: int = 0) -> np.ndarray:
+        v = np.asarray(values)
+        if v.ndim != 1:
+            raise CryptoError("encrypt_column expects a 1-D array")
+        return v.astype(np.int64, copy=False)
+
+    def decrypt_column(self, cipher: np.ndarray, start_id: int = 0) -> np.ndarray:
+        c = np.asarray(cipher)
+        if c.ndim != 1:
+            raise CryptoError("decrypt_column expects a 1-D array")
+        return c.astype(np.int64, copy=False)
+
+    def compare_column(self, cipher: np.ndarray, token) -> np.ndarray:
+        """Sign of ``cipher - token`` as int8 (-1 / 0 / +1) per row."""
+        c = np.asarray(cipher, dtype=np.int64)
+        t = np.int64(int(token))
+        return np.sign(c - t).astype(np.int8)
+
+    def pad_range(self, start_id: int, count: int) -> np.ndarray:
+        """Plaintext needs no masking: the pad stream is all zeros."""
+        if count < 0:
+            raise CryptoError(f"negative pad range count: {count}")
+        return np.zeros(count, dtype=_U64)
+
+
+__all__ = [
+    "KERNEL_OPS",
+    "Kernel",
+    "KernelUnsupported",
+    "PlainKernel",
+    "kernel_ops",
+    "reset_deprecation_warnings",
+    "validate_kernel",
+    "warn_deprecated_once",
+]

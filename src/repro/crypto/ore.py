@@ -32,8 +32,9 @@ import hashlib
 
 import numpy as np
 
+from repro.crypto.kernel import warn_deprecated_once
 from repro.crypto.prf import MASK64
-from repro.errors import CryptoError
+from repro.errors import CryptoError, KernelUnsupported
 
 _U64 = np.uint64
 _MIX_MUL_1 = 0xBF58476D1CE4E5B9
@@ -98,8 +99,43 @@ def compare_packed_arrays(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return result
 
 
+def argextreme_packed(cipher: np.ndarray, kind: str) -> int:
+    """Index of the min/max row of a packed ORE column.
+
+    O(log n) vectorised :func:`compare_packed_arrays` tournament passes
+    instead of an O(n) per-row Python loop.  Public Compare only -- no key
+    material -- so the server's MIN/MAX aggregation and the zone-map
+    builder share this single implementation.
+    """
+    if kind not in ("min", "max"):
+        raise CryptoError(f"argextreme_packed kind must be 'min' or 'max', got {kind!r}")
+    cipher = np.asarray(cipher, dtype=_U64)
+    if cipher.ndim != 2 or cipher.shape[0] == 0:
+        raise CryptoError("argextreme_packed expects a non-empty (N, words) array")
+    indices = np.arange(cipher.shape[0], dtype=np.int64)
+    current = cipher
+    while indices.size > 1:
+        half = indices.size // 2
+        a = current[:half]
+        b = current[half : 2 * half]
+        cmp = compare_packed_arrays(a, b)
+        pick_b = cmp < 0 if kind == "max" else cmp > 0
+        winner_idx = np.where(pick_b, indices[half : 2 * half], indices[:half])
+        winner_ct = np.where(pick_b[:, None], b, a)
+        if indices.size % 2:
+            winner_idx = np.append(winner_idx, indices[-1])
+            winner_ct = np.vstack([winner_ct, current[-1:]])
+        indices = winner_idx
+        current = winner_ct
+    return int(indices[0])
+
+
 class OreScheme:
     """CLWW order-revealing encryption over ``nbits``-bit integers."""
+
+    #: Kernel-protocol ops this scheme cannot provide: CLWW ciphertexts are
+    #: not invertible (comparison-only), and there is no pad stream.
+    KERNEL_UNSUPPORTED = frozenset({"decrypt_column", "pad_range"})
 
     def __init__(self, key: bytes, nbits: int = 32, signed: bool = True,
                  backend: str = "fast"):
@@ -168,7 +204,21 @@ class OreScheme:
     # -- encryption ---------------------------------------------------------
 
     def encrypt_one(self, m: int) -> tuple[int, ...]:
-        """Encrypt a single value; returns the packed trit words."""
+        """Deprecated per-value entry point; use :meth:`encrypt_column`."""
+        warn_deprecated_once(
+            "OreScheme.encrypt_one",
+            "OreScheme.encrypt_one(m) is deprecated; encrypt whole columns "
+            "with the batch kernel OreScheme.encrypt_column(values) "
+            "(query constants go through token())",
+        )
+        return self._encrypt_one(m)
+
+    def _encrypt_one(self, m: int) -> tuple[int, ...]:
+        """Per-row reference path (scalar PRF per bit position).
+
+        Retained without a warning as the ground truth for the property
+        tests, the kernel microbenchmark, and :meth:`token`.
+        """
         value = self._to_domain(m)
         words = [0] * self.num_words
         n = self.nbits
@@ -180,8 +230,12 @@ class OreScheme:
             words[word] |= trit << (2 * slot)
         return tuple(words)
 
-    def encrypt_column(self, values: np.ndarray) -> np.ndarray:
-        """Encrypt a column; returns a ``(N, num_words)`` uint64 array."""
+    def encrypt_column(self, values: np.ndarray, start_id: int = 0) -> np.ndarray:
+        """Encrypt a column; returns a ``(N, num_words)`` uint64 array.
+
+        ``start_id`` is accepted for Kernel-protocol uniformity and
+        ignored: ORE ciphertexts do not depend on row identity.
+        """
         v = self._to_domain_np(values)
         out = np.zeros((v.size, self.num_words), dtype=_U64)
         n = self.nbits
@@ -193,9 +247,17 @@ class OreScheme:
             out[:, word] |= trit << _U64(2 * slot)
         return out
 
+    def decrypt_column(self, cipher: np.ndarray, start_id: int = 0) -> np.ndarray:
+        """CLWW ciphertexts are comparison-only; decryption does not exist."""
+        raise KernelUnsupported("ORE ciphertexts cannot be decrypted")
+
+    def pad_range(self, start_id: int, count: int) -> np.ndarray:
+        """ORE has no additive mask stream."""
+        raise KernelUnsupported("ORE has no pad stream")
+
     def token(self, m: int) -> tuple[int, ...]:
         """Comparison token for a query constant (same as encryption)."""
-        return self.encrypt_one(m)
+        return self._encrypt_one(m)
 
     # -- comparison (public: needs no key) ------------------------------------
 
@@ -264,24 +326,12 @@ class OreScheme:
         """Index of the row with the largest plaintext (server-side scan)."""
         if cipher.shape[0] == 0:
             raise CryptoError("argmax of an empty ORE column")
-        best = 0
-        best_ct = tuple(int(w) for w in cipher[0])
-        for row in range(1, cipher.shape[0]):
-            ct = tuple(int(w) for w in cipher[row])
-            if self.compare_words(ct, best_ct) > 0:
-                best, best_ct = row, ct
-        return best
+        return argextreme_packed(cipher, "max")
 
     def argmin_column(self, cipher: np.ndarray) -> int:
         if cipher.shape[0] == 0:
             raise CryptoError("argmin of an empty ORE column")
-        best = 0
-        best_ct = tuple(int(w) for w in cipher[0])
-        for row in range(1, cipher.shape[0]):
-            ct = tuple(int(w) for w in cipher[row])
-            if self.compare_words(ct, best_ct) < 0:
-                best, best_ct = row, ct
-        return best
+        return argextreme_packed(cipher, "min")
 
     def first_diff_index(self, a: tuple[int, ...], b: tuple[int, ...]) -> int | None:
         """The leakage function: 1-based index of the first differing bit.

@@ -24,7 +24,7 @@ from random import Random
 
 import numpy as np
 
-from repro.errors import CryptoError
+from repro.errors import CryptoError, KernelUnsupported
 
 _SMALL_PRIMES = [3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67]
 
@@ -100,6 +100,10 @@ class PaillierScheme:
     Randomness for encryption blinding comes from a dedicated RNG;  pass
     ``seed`` for reproducible ciphertexts in tests.
     """
+
+    #: Kernel-protocol ops this scheme cannot provide: Paillier is
+    #: semantically secure (no comparison) and has no pad stream.
+    KERNEL_UNSUPPORTED = frozenset({"compare_column", "pad_range"})
 
     def __init__(self, keys: PaillierKeyPair, seed: int | None = None,
                  blinding_pool: int | None = None):
@@ -180,12 +184,38 @@ class PaillierScheme:
 
     # -- column interface (object arrays of Python ints) ------------------------
 
-    def encrypt_column(self, values: np.ndarray) -> np.ndarray:
-        """Encrypt each element; returns a dtype=object array of big ints."""
+    def encrypt_column(self, values: np.ndarray, start_id: int = 0) -> np.ndarray:
+        """Encrypt each element; returns a dtype=object array of big ints.
+
+        ``start_id`` is accepted for Kernel-protocol uniformity and
+        ignored.  Paillier ciphertexts are arbitrary-precision ints, so
+        the batch path is a loop -- exactly the per-row cost the paper's
+        baseline measurements charge Paillier for.
+        """
         out = np.empty(len(values), dtype=object)
         for j, m in enumerate(np.asarray(values).tolist()):
             out[j] = self.encrypt(int(m))
         return out
+
+    def decrypt_column(self, cipher: np.ndarray, start_id: int = 0) -> np.ndarray:
+        """Decrypt a dtype=object ciphertext column to int64 plaintexts.
+
+        Uses the CRT-accelerated path per element (~4x over the standard
+        decryption, same output).
+        """
+        c = np.asarray(cipher, dtype=object)
+        out = np.empty(c.size, dtype=np.int64)
+        for j, ct in enumerate(c.tolist()):
+            out[j] = self.decrypt_crt(int(ct))
+        return out
+
+    def compare_column(self, cipher: np.ndarray, token) -> np.ndarray:
+        """Paillier is semantically secure; no server-side comparison."""
+        raise KernelUnsupported("Paillier ciphertexts do not support comparison")
+
+    def pad_range(self, start_id: int, count: int) -> np.ndarray:
+        """Paillier has no additive mask stream."""
+        raise KernelUnsupported("Paillier has no pad stream")
 
     def aggregate(self, cipher: np.ndarray, mask: np.ndarray | None = None) -> int:
         """Server-side SUM: the big-int product of selected ciphertexts."""

@@ -25,6 +25,12 @@ This module provides three interchangeable backends:
   of carving multiple pseudo-random numbers out of a single AES operation
   (Section 4.3).  Pure-Python AES is slow; this backend exists for
   fidelity and for the Table 1 microbenchmark.
+- :class:`AesNiCtrPrf` -- the same AES-128-CTR construction routed through
+  the ``cryptography`` package's OpenSSL backend, which uses AES-NI
+  hardware instructions where available.  Bit-identical to
+  :class:`AesCtrPrf` (the property tests cross-check them on random keys
+  and blocks) but batch-evaluated: one ECB call encrypts a whole column's
+  counter blocks, recovering the paper's 47 ns-per-op Table 1 price.
 
 All backends operate on the identifier domain ``Z_{2^64}`` with wraparound,
 so ``F_k(i - 1)`` is well defined for ``i = 0`` (it wraps to
@@ -39,6 +45,14 @@ from abc import ABC, abstractmethod
 import numpy as np
 
 from repro.errors import CryptoError
+
+try:  # hardware AES via OpenSSL; gated so the core package needs only numpy
+    from cryptography.hazmat.primitives.ciphers import Cipher, algorithms, modes
+
+    HAVE_AESNI = True
+except ImportError:  # pragma: no cover - exercised only on minimal installs
+    Cipher = algorithms = modes = None
+    HAVE_AESNI = False
 
 MASK64 = (1 << 64) - 1
 
@@ -198,15 +212,80 @@ class AesCtrPrf(Prf):
         return int.from_bytes(cached[1][8 * lane : 8 * lane + 8], "big")
 
 
+class AesNiCtrPrf(Prf):
+    """AES-128-CTR through ``cryptography``'s AES-NI path, batch-evaluated.
+
+    Identical construction to :class:`AesCtrPrf` -- identifier ``i`` maps
+    to the big-endian counter block ``i >> 1``, the low bit of ``i``
+    selects the 64-bit lane -- but a whole array of counter blocks is
+    encrypted with a single ECB call (CTR keystream *is* ECB over the
+    counter blocks), so the per-op cost approaches the paper's 47 ns.
+    """
+
+    name = "aes-ni"
+
+    def __init__(self, key: bytes):
+        if not HAVE_AESNI:
+            raise CryptoError(
+                "the 'cryptography' package is not installed; "
+                "the aes-ni PRF backend is unavailable (use aes-ctr)"
+            )
+        key = _require_key(key, minimum=16)
+        self._cipher = Cipher(algorithms.AES(key[:16]), modes.ECB())
+
+    def _blocks(self, block_ids: np.ndarray) -> np.ndarray:
+        """ECB-encrypt counter blocks; returns an ``(n, 2)`` lane array.
+
+        Column 0 holds the first eight big-endian bytes of each AES output
+        (lane 0), matching :meth:`AesCtrPrf.eval_one` exactly.
+        """
+        counters = np.zeros((block_ids.size, 2), dtype=">u8")
+        counters[:, 1] = block_ids
+        enc = self._cipher.encryptor()
+        out = enc.update(counters.tobytes()) + enc.finalize()
+        return np.frombuffer(out, dtype=">u8").astype(_U64).reshape(-1, 2)
+
+    def eval_one(self, i: int) -> int:
+        return int(self.eval_many(np.asarray([i & MASK64], dtype=_U64))[0])
+
+    def eval_many(self, ids: np.ndarray) -> np.ndarray:
+        flat = np.asarray(ids, dtype=_U64).ravel()
+        if flat.size == 0:
+            return np.empty(np.shape(ids), dtype=_U64)
+        lanes = self._blocks(flat >> _U64(1))
+        out = np.where(flat & _U64(1), lanes[:, 1], lanes[:, 0])
+        return out.reshape(np.shape(ids))
+
+    def eval_range(self, start: int, count: int) -> np.ndarray:
+        if count < 0:
+            raise CryptoError(f"negative PRF range count: {count}")
+        start &= MASK64
+        if count == 0:
+            return np.empty(0, dtype=_U64)
+        if start + count > (1 << 64):  # identifier wraparound: split the stream
+            head = (1 << 64) - start
+            return np.concatenate(
+                [self.eval_range(start, head), self.eval_range(0, count - head)]
+            )
+        first_block = start >> 1
+        last_block = (start + count - 1) >> 1
+        block_ids = np.arange(first_block, last_block + 1, dtype=_U64)
+        lanes = self._blocks(block_ids).reshape(-1)
+        offset = start - 2 * first_block
+        return lanes[offset : offset + count].copy()
+
+
 _BACKENDS = {
     "blake2": Blake2Prf,
     "splitmix64": SplitMix64Prf,
     "aes-ctr": AesCtrPrf,
+    "aes-ni": AesNiCtrPrf,
 }
 
 
 def prf_from_name(name: str, key: bytes) -> Prf:
-    """Instantiate a PRF backend by name (``blake2 | splitmix64 | aes-ctr``)."""
+    """Instantiate a PRF backend by name
+    (``blake2 | splitmix64 | aes-ctr | aes-ni``)."""
     try:
         cls = _BACKENDS[name]
     except KeyError:

@@ -25,8 +25,12 @@ Three backends are provided:
   bodies are written that way (see :mod:`repro.core.server`).
 
 Pools are created lazily on first use and kept alive for the lifetime of
-the backend object, so per-stage dispatch overhead is one ``submit`` per
-task, not one pool spin-up per stage.
+the backend object -- warm across every query the session runs -- and
+stages dispatch in *chunks*: tasks are grouped into at most
+``2 x workers`` contiguous chunks per stage, so dispatch overhead is a
+handful of ``submit`` calls (and, for processes, pickle round-trips) per
+stage instead of one per task.  Per-task times are still measured
+individually inside the chunk, so the simulated makespan is unchanged.
 """
 
 from __future__ import annotations
@@ -86,6 +90,30 @@ def timed_call(
 def _call_thunk(thunk: Callable[[], T]) -> T:
     """Adapter turning the legacy zero-arg-callable API into a call."""
     return thunk()
+
+
+def run_call_chunk(
+    fn: Callable[..., T],
+    chunk: Sequence[tuple],
+    timer: Callable[[], float] = time.perf_counter,
+) -> list[TimedResult]:
+    """Run a contiguous chunk of calls inside one pool task.
+
+    Top-level so process pools can pickle it.  Each call is still timed
+    individually -- the makespan simulation schedules per-task compute,
+    not per-chunk -- but the pool pays one submit/pickle round-trip for
+    the whole chunk.
+    """
+    return [timed_call(fn, call, timer) for call in chunk]
+
+
+#: Chunks per unit of *host* parallelism when splitting a stage for pooled
+#: dispatch.  2x gives the pool slack to rebalance when task durations are
+#: uneven while still collapsing an N-task stage into a handful of
+#: submits.  Chunking follows the host CPU count, not the configured
+#: worker count: a pool of 8 workers on a 1-core host can still only run
+#: one chunk at a time, and extra chunks are pure dispatch overhead.
+CHUNKS_PER_WORKER = 2
 
 
 class ExecutionBackend:
@@ -181,9 +209,41 @@ class _PoolBackend(ExecutionBackend):
             # dispatch overhead (and, for processes, the pickling).
             return [timed_call(fn, call, self.timer) for call in calls]
         futures = [
-            self.pool.submit(timed_call, fn, call, self.timer) for call in calls
+            self.pool.submit(run_call_chunk, fn, chunk, self.timer)
+            for chunk in self._chunk(calls)
         ]
-        return [f.result() for f in futures]
+        out: list[TimedResult] = []
+        for f in futures:
+            out.extend(f.result())
+        return out
+
+    def _chunk(self, calls: list[tuple]) -> list[list[tuple]]:
+        """Split a stage into contiguous, near-equal chunks
+        (order-preserving); see :data:`CHUNKS_PER_WORKER`.
+
+        A stage no larger than the pool keeps one call per chunk: every
+        task gets its own worker immediately (tasks that block on each
+        other -- barriers, pipes -- rely on that), and a handful of
+        submits costs nothing.  Only stages that outnumber the workers
+        are packed down to amortise dispatch.
+        """
+        if len(calls) <= self.workers:
+            return [[call] for call in calls]
+        parallelism = min(self.workers, os.cpu_count() or 1)
+        # With one usable CPU there is nothing to rebalance between
+        # chunks, so the whole stage ships as a single pool task and the
+        # dispatch cost collapses to one submit + one wakeup.
+        n_chunks = 1 if parallelism == 1 else min(
+            len(calls), parallelism * CHUNKS_PER_WORKER
+        )
+        base, extra = divmod(len(calls), n_chunks)
+        chunks: list[list[tuple]] = []
+        start = 0
+        for c in range(n_chunks):
+            size = base + (1 if c < extra else 0)
+            chunks.append(calls[start : start + size])
+            start += size
+        return chunks
 
     def close(self) -> None:
         with self._pool_lock:
@@ -225,13 +285,19 @@ class ProcessBackend(_PoolBackend):
         #: this backend actually ships to workers per stage.
         self.track_dispatch = False
         self.dispatched_bytes = 0
+        # query_many() drives stages from several threads; `+=` on the
+        # counter is not atomic, so bumps go through a lock (one
+        # acquisition per stage, not per task).
+        self._dispatch_lock = threading.Lock()
 
     def map_calls(
         self, fn: Callable[..., T], calls: Sequence[tuple]
     ) -> list[TimedResult]:
         calls = list(calls)
         if self.track_dispatch and len(calls) > 1:
-            self.dispatched_bytes += sum(pickled_nbytes(call) for call in calls)
+            stage_bytes = sum(pickled_nbytes(call) for call in calls)
+            with self._dispatch_lock:
+                self.dispatched_bytes += stage_bytes
         return super().map_calls(fn, calls)
 
     def _make_pool(self) -> Executor:

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import heapq
 import os
+import tempfile
 import threading
 import time
 from dataclasses import dataclass, replace
@@ -90,6 +91,12 @@ class ClusterConfig:
     storage_dir: str | None = None  # root for persistent partition stores
     append_partition_rows: int = 65_536  # target rows per appended partition
     reader_keep_generations: int = 4  # superseded snapshots cached per store
+    #: Under the ``processes`` backend, spill in-memory tables to a
+    #: scratch mmap store on register so stage dispatch ships tiny
+    #: ``PartitionRef``s instead of pickled ciphertext columns.  Off
+    #: buys back the one-time spill write for short-lived tables (and
+    #: gives benchmarks the pickled-column baseline).
+    spill_to_store: bool = True
 
     def __post_init__(self) -> None:
         if self.cores < 1:
@@ -176,10 +183,33 @@ class SimulatedCluster:
         self.backend = backend or make_backend(
             self.config.backend, self.config.workers or None
         )
+        # Zero-copy spill root (see scratch_dir); created lazily because
+        # most clusters never need it.
+        self._scratch: tempfile.TemporaryDirectory | None = None
+        self._scratch_lock = threading.Lock()
+
+    def scratch_dir(self) -> str:
+        """Scratch root for zero-copy spill stores, created on first use.
+
+        The server spills in-memory tables here when workers live in
+        other processes, so stage dispatch ships mmap-backed
+        ``PartitionRef``s instead of pickled ciphertext columns.  Removed
+        by :meth:`close` (and by the interpreter's tempdir finalizer as a
+        backstop).
+        """
+        with self._scratch_lock:
+            if self._scratch is None:
+                self._scratch = tempfile.TemporaryDirectory(prefix="seabed-spill-")
+            return self._scratch.name
 
     def close(self) -> None:
-        """Shut down any worker pool held by the backend (idempotent)."""
+        """Shut down any worker pool held by the backend and remove any
+        spill stores (idempotent)."""
         self.backend.close()
+        with self._scratch_lock:
+            scratch, self._scratch = self._scratch, None
+        if scratch is not None:
+            scratch.cleanup()
 
     # -- stage execution -----------------------------------------------------
 

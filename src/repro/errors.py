@@ -15,6 +15,16 @@ class CryptoError(SeabedError):
     """A cryptographic operation failed (bad key size, domain overflow...)."""
 
 
+class KernelUnsupported(CryptoError):
+    """A scheme does not implement this batch-kernel operation.
+
+    The :class:`~repro.crypto.kernel.Kernel` protocol is uniform across
+    schemes, but not every operation is meaningful everywhere (ORE
+    ciphertexts cannot be decrypted; Paillier reveals no order).  Callers
+    that probe capabilities catch this one type.
+    """
+
+
 class EncodingError(SeabedError):
     """An ID-list codec was fed malformed bytes or an invalid ID sequence."""
 

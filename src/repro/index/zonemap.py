@@ -46,20 +46,10 @@ DET_SUFFIX = "__det"
 
 
 def _ore_extreme_row(cipher: np.ndarray, kind: str) -> np.ndarray:
-    """The min/max ciphertext row by the public ORE Compare (O(log n)
-    vectorised tournament, mirroring the server's aggregation kernel)."""
-    current = np.asarray(cipher, dtype=_U64)
-    while current.shape[0] > 1:
-        half = current.shape[0] // 2
-        a = current[:half]
-        b = current[half : 2 * half]
-        cmp = ore_mod.compare_packed_arrays(a, b)
-        pick_b = cmp < 0 if kind == "max" else cmp > 0
-        winners = np.where(pick_b[:, None], b, a)
-        if current.shape[0] % 2:
-            winners = np.vstack([winners, current[-1:]])
-        current = winners
-    return current[0]
+    """The min/max ciphertext row by the public ORE Compare (the shared
+    vectorised kernel tournament, same code path as server aggregation)."""
+    arr = np.asarray(cipher, dtype=_U64)
+    return arr[ore_mod.argextreme_packed(arr, kind)]
 
 
 def _ore_stats(arr: np.ndarray) -> dict[str, Any]:

@@ -1,0 +1,409 @@
+"""Tests for the batch crypto-kernel protocol (repro.crypto.kernel).
+
+Three concerns live here:
+
+- **Protocol conformance**: all five schemes satisfy :class:`Kernel`,
+  declare their unsupported ops, and the declared-absent ops raise
+  :class:`KernelUnsupported`.
+- **Bit-identity**: every batch kernel is proven identical to the
+  retained per-row reference path (``_encrypt_one`` / ``_decrypt_one`` /
+  ``compare_words``) with hypothesis, across dtypes, empty arrays, and
+  the edge identifiers 0 and ``2^64 - 1`` (wraparound).  The ``aes-ni``
+  PRF backend is cross-checked against the from-scratch FIPS-197 AES on
+  random keys and blocks.
+- **Shims and counters**: deprecated per-value entry points warn exactly
+  once per process, and ``AsheScheme.prf_evals`` stays exact when
+  ``decrypt_column`` is hammered from many threads.
+"""
+
+import threading
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.ashe import AsheScheme
+from repro.crypto.det import DetScheme
+from repro.crypto.kernel import (
+    KERNEL_OPS,
+    Kernel,
+    PlainKernel,
+    kernel_ops,
+    reset_deprecation_warnings,
+    validate_kernel,
+    warn_deprecated_once,
+)
+from repro.crypto.ore import OreScheme, argextreme_packed
+from repro.crypto.paillier import PaillierKeyPair, PaillierScheme
+from repro.crypto.prf import HAVE_AESNI, MASK64, AesCtrPrf, AesNiCtrPrf, SplitMix64Prf
+from repro.errors import CryptoError, KernelUnsupported
+
+KEY = b"0123456789abcdef"
+
+
+# Module scope is deliberate: the schemes are deterministic and stateless
+# apart from counters, so hypothesis may safely reuse one instance across
+# generated inputs (function scope trips its fixture health check).
+@pytest.fixture(scope="module")
+def ashe() -> AsheScheme:
+    return AsheScheme(SplitMix64Prf(KEY))
+
+
+@pytest.fixture(scope="module")
+def det() -> DetScheme:
+    return DetScheme(KEY)
+
+
+@pytest.fixture(scope="module")
+def ore() -> OreScheme:
+    return OreScheme(KEY, nbits=32)
+
+
+@pytest.fixture(scope="module")
+def paillier() -> PaillierScheme:
+    return PaillierScheme(PaillierKeyPair.generate(bits=256, seed=7), seed=7)
+
+
+# -- protocol conformance ----------------------------------------------------
+
+
+class TestProtocol:
+    def test_all_schemes_satisfy_kernel(self, ashe, det, ore, paillier):
+        for scheme in (ashe, det, ore, paillier, PlainKernel()):
+            assert isinstance(scheme, Kernel)
+            validate_kernel(scheme)
+
+    def test_validate_rejects_non_kernel(self):
+        class Half:
+            def encrypt_column(self, values, start_id=0):
+                return values
+
+        with pytest.raises(CryptoError, match="decrypt_column"):
+            validate_kernel(Half())
+
+    def test_capability_maps(self, ashe, det, ore, paillier):
+        assert kernel_ops(PlainKernel()) == {op: True for op in KERNEL_OPS}
+        assert kernel_ops(ashe)["compare_column"] is False
+        assert kernel_ops(ashe)["pad_range"] is True
+        assert kernel_ops(det) == {
+            "encrypt_column": True, "decrypt_column": True,
+            "compare_column": True, "pad_range": False,
+        }
+        assert kernel_ops(ore) == {
+            "encrypt_column": True, "decrypt_column": False,
+            "compare_column": True, "pad_range": False,
+        }
+        assert kernel_ops(paillier)["compare_column"] is False
+
+    def test_declared_absent_ops_raise(self, ashe, det, ore, paillier):
+        one = np.ones(1, dtype=np.uint64)
+        with pytest.raises(KernelUnsupported):
+            ashe.compare_column(one, 0)
+        with pytest.raises(KernelUnsupported):
+            det.pad_range(0, 4)
+        with pytest.raises(KernelUnsupported):
+            ore.decrypt_column(one)
+        with pytest.raises(KernelUnsupported):
+            ore.pad_range(0, 4)
+        with pytest.raises(KernelUnsupported):
+            paillier.compare_column(one, 0)
+
+    def test_kernel_unsupported_is_a_crypto_error(self):
+        assert issubclass(KernelUnsupported, CryptoError)
+
+
+class TestPlainKernel:
+    def test_round_trip(self):
+        plain = PlainKernel()
+        values = np.array([-5, 0, 7, 2**40], dtype=np.int64)
+        assert np.array_equal(plain.decrypt_column(plain.encrypt_column(values)), values)
+
+    def test_compare_is_sign(self):
+        cmp = PlainKernel().compare_column(np.array([1, 5, 9]), 5)
+        assert cmp.dtype == np.int8
+        assert cmp.tolist() == [-1, 0, 1]
+
+    def test_pad_range_is_zeros(self):
+        pads = PlainKernel().pad_range(123, 6)
+        assert pads.dtype == np.uint64 and not pads.any() and pads.size == 6
+
+    def test_rejects_matrices_and_negative_counts(self):
+        with pytest.raises(CryptoError):
+            PlainKernel().encrypt_column(np.zeros((2, 2)))
+        with pytest.raises(CryptoError):
+            PlainKernel().pad_range(0, -1)
+
+
+# -- batch kernels vs the per-row reference path -----------------------------
+
+#: Start identifiers covering both edges: 0 (pad reaches back to
+#: ``F(2^64 - 1)``) and values near ``2^64 - 1`` (the range itself wraps).
+edge_start_ids = st.sampled_from([0, 1, 1000, 2**32, MASK64 - 3, MASK64])
+int64_columns = st.lists(
+    st.integers(min_value=-(2**63), max_value=2**63 - 1), max_size=40
+)
+
+
+class TestAsheBatchVsReference:
+    @settings(deadline=None, max_examples=40)
+    @given(values=int64_columns, start=edge_start_ids)
+    def test_encrypt_column_matches_encrypt_one(self, ashe, values, start):
+        arr = np.array(values, dtype=np.int64)
+        batch = ashe.encrypt_column(arr, start_id=start)
+        reference = [
+            ashe._encrypt_one(m, (start + j) & MASK64).value
+            for j, m in enumerate(values)
+        ]
+        assert batch.dtype == np.uint64
+        assert batch.tolist() == reference
+
+    @settings(deadline=None, max_examples=40)
+    @given(values=int64_columns, start=edge_start_ids)
+    def test_decrypt_column_round_trips(self, ashe, values, start):
+        arr = np.array(values, dtype=np.int64)
+        assert np.array_equal(
+            ashe.decrypt_column(ashe.encrypt_column(arr, start), start), arr
+        )
+
+    @settings(deadline=None, max_examples=40)
+    @given(start=edge_start_ids, count=st.integers(min_value=0, max_value=40))
+    def test_pad_range_matches_scalar_boundary_evals(self, ashe, start, count):
+        prf = SplitMix64Prf(KEY)
+        batch = ashe.pad_range(start, count)
+        reference = [
+            (prf.eval_one((start + j) & MASK64)
+             - prf.eval_one((start + j - 1) & MASK64)) & int(MASK64)
+            for j in range(count)
+        ]
+        assert batch.tolist() == reference
+
+    @pytest.mark.parametrize("dtype", [np.int64, np.int32, np.int16, np.uint64])
+    def test_dtypes(self, ashe, dtype):
+        arr = np.array([0, 1, 117, 2**14], dtype=dtype)
+        plain = ashe.decrypt_column(ashe.encrypt_column(arr, 9), 9)
+        assert plain.tolist() == arr.astype(np.int64).tolist()
+
+    def test_empty_column(self, ashe):
+        empty = np.empty(0, dtype=np.int64)
+        assert ashe.encrypt_column(empty, 5).size == 0
+        assert ashe.decrypt_column(np.empty(0, np.uint64), 5).size == 0
+        assert ashe.pad_range(5, 0).size == 0
+
+    def test_wraparound_range_covers_both_edge_ids(self, ashe):
+        # IDs MASK64-1, MASK64, 0, 1: the range crosses 2^64 and the
+        # telescoping stream must stay consistent with per-row pads.
+        arr = np.array([11, -22, 33, -44], dtype=np.int64)
+        cipher = ashe.encrypt_column(arr, start_id=MASK64 - 1)
+        assert np.array_equal(ashe.decrypt_column(cipher, MASK64 - 1), arr)
+        per_row = [
+            ashe._encrypt_one(int(m), (MASK64 - 1 + j) & MASK64).value
+            for j, m in enumerate(arr.tolist())
+        ]
+        assert cipher.tolist() == per_row
+
+
+class TestDetBatchVsReference:
+    @settings(deadline=None, max_examples=40)
+    @given(values=int64_columns)
+    def test_encrypt_decrypt_match_per_row(self, det, values):
+        arr = np.array(values, dtype=np.int64)
+        cipher = det.encrypt_column(arr)
+        assert cipher.tolist() == [det._encrypt_one(m) for m in values]
+        # _decrypt_one returns the raw Z_{2^64} element; decrypt_column
+        # reinterprets it as two's-complement int64.
+        assert det.decrypt_column(cipher).view(np.uint64).tolist() == [
+            det._decrypt_one(int(c)) for c in cipher.tolist()
+        ]
+        assert np.array_equal(det.decrypt_column(cipher), arr)
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        values=st.lists(st.integers(min_value=-50, max_value=50), max_size=30),
+        needle=st.integers(min_value=-50, max_value=50),
+    )
+    def test_compare_column_is_equality(self, det, values, needle):
+        cipher = det.encrypt_column(np.array(values, dtype=np.int64))
+        cmp = det.compare_column(cipher, det.token(needle))
+        assert cmp.dtype == np.int8
+        assert cmp.tolist() == [0 if v == needle else 1 for v in values]
+
+    @pytest.mark.parametrize("dtype", [np.int64, np.int32, np.int16])
+    def test_dtypes(self, det, dtype):
+        arr = np.array([-3, 0, 41], dtype=dtype)
+        assert det.decrypt_column(det.encrypt_column(arr)).tolist() == arr.tolist()
+
+    def test_empty_column(self, det):
+        assert det.encrypt_column(np.empty(0, np.int64)).size == 0
+        assert det.decrypt_column(np.empty(0, np.uint64)).size == 0
+
+
+class TestOreBatchVsReference:
+    @settings(deadline=None, max_examples=25)
+    @given(values=st.lists(st.integers(min_value=-(2**31), max_value=2**31 - 1),
+                           max_size=25))
+    def test_encrypt_column_matches_encrypt_one(self, ore, values):
+        cipher = ore.encrypt_column(np.array(values, dtype=np.int64))
+        for row, m in zip(cipher, values):
+            assert tuple(int(w) for w in row) == ore._encrypt_one(m)
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        values=st.lists(st.integers(min_value=-(2**31), max_value=2**31 - 1),
+                        min_size=1, max_size=25),
+        needle=st.integers(min_value=-(2**31), max_value=2**31 - 1),
+    )
+    def test_compare_column_matches_compare_words(self, ore, values, needle):
+        cipher = ore.encrypt_column(np.array(values, dtype=np.int64))
+        token = ore.token(needle)
+        batch = ore.compare_column(cipher, token)
+        per_row = [
+            OreScheme.compare_words(tuple(int(w) for w in row), token)
+            for row in cipher
+        ]
+        assert batch.tolist() == per_row
+
+    @settings(deadline=None, max_examples=25)
+    @given(values=st.lists(st.integers(min_value=-(2**31), max_value=2**31 - 1),
+                           min_size=1, max_size=25))
+    def test_argextreme_matches_python_loop(self, ore, values):
+        cipher = ore.encrypt_column(np.array(values, dtype=np.int64))
+        # The tournament's tie-break is pairwise, so with duplicated
+        # extremes any tied index is a valid winner; the contract is
+        # that the returned row *holds* the extreme, deterministically.
+        lo = argextreme_packed(cipher, "min")
+        hi = argextreme_packed(cipher, "max")
+        assert values[lo] == min(values)
+        assert values[hi] == max(values)
+        assert lo == argextreme_packed(cipher, "min")
+        assert hi == argextreme_packed(cipher, "max")
+
+    def test_empty_column(self, ore):
+        assert ore.encrypt_column(np.empty(0, np.int64)).shape[0] == 0
+        with pytest.raises(CryptoError):
+            argextreme_packed(np.empty((0, 4), np.uint64), "min")
+
+
+class TestPaillierBatch:
+    def test_decrypt_column_inverts_encrypt_column(self, paillier):
+        values = np.array([-9, 0, 1, 123456], dtype=np.int64)
+        cipher = paillier.encrypt_column(values)
+        plain = paillier.decrypt_column(cipher)
+        assert plain.dtype == np.int64
+        assert np.array_equal(plain, values)
+
+    def test_empty_column(self, paillier):
+        assert paillier.decrypt_column(np.empty(0, dtype=object)).size == 0
+
+
+# -- aes-ni backend vs the from-scratch FIPS-197 reference ------------------
+
+
+@pytest.mark.skipif(not HAVE_AESNI, reason="cryptography not installed")
+class TestAesNiCrossCheck:
+    @settings(deadline=None, max_examples=20)
+    @given(
+        key=st.binary(min_size=16, max_size=16),
+        ids=st.lists(st.integers(min_value=0, max_value=int(MASK64)), max_size=20),
+    )
+    def test_eval_many_matches_from_scratch(self, key, ids):
+        ni, ref = AesNiCtrPrf(key), AesCtrPrf(key)
+        arr = np.array(ids, dtype=np.uint64)
+        assert np.array_equal(ni.eval_many(arr), ref.eval_many(arr))
+        for i in ids[:4]:
+            assert ni.eval_one(i) == ref.eval_one(i)
+
+    @settings(deadline=None, max_examples=20)
+    @given(
+        key=st.binary(min_size=16, max_size=16),
+        start=st.sampled_from([0, 1, 2**33 - 1, MASK64 - 5, MASK64]),
+        count=st.integers(min_value=0, max_value=32),
+    )
+    def test_eval_range_matches_including_wraparound(self, key, start, count):
+        ni, ref = AesNiCtrPrf(key), AesCtrPrf(key)
+        assert np.array_equal(ni.eval_range(start, count), ref.eval_range(start, count))
+
+    def test_negative_start_wraps(self):
+        ni, ref = AesNiCtrPrf(KEY), AesCtrPrf(KEY)
+        assert np.array_equal(ni.eval_range(-1, 3), ref.eval_range(-1, 3))
+
+
+# -- deprecation shims -------------------------------------------------------
+
+
+@pytest.fixture
+def fresh_warnings():
+    reset_deprecation_warnings()
+    yield
+    reset_deprecation_warnings()
+
+
+class TestWarnOnceShims:
+    def _count_warnings(self, fn) -> int:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            fn()
+        return sum(issubclass(w.category, DeprecationWarning) for w in caught)
+
+    def test_ashe_encrypt_warns_once(self, ashe, fresh_warnings):
+        assert self._count_warnings(lambda: ashe.encrypt(5, 1)) == 1
+        assert self._count_warnings(lambda: ashe.encrypt(6, 2)) == 0
+
+    def test_det_shims_warn_once_each(self, det, fresh_warnings):
+        assert self._count_warnings(lambda: det.encrypt_one(5)) == 1
+        assert self._count_warnings(lambda: det.decrypt_one(det._encrypt_one(5))) == 1
+        assert self._count_warnings(lambda: det.encrypt_one(9)) == 0
+
+    def test_ore_encrypt_one_warns_once(self, ore, fresh_warnings):
+        assert self._count_warnings(lambda: ore.encrypt_one(5)) == 1
+        assert self._count_warnings(lambda: ore.encrypt_one(6)) == 0
+
+    def test_tokens_never_warn(self, det, ore, fresh_warnings):
+        assert self._count_warnings(lambda: (det.token(1), ore.token(1))) == 0
+
+    def test_reset_rearms_the_warning(self, fresh_warnings):
+        assert self._count_warnings(
+            lambda: warn_deprecated_once("k", "gone")) == 1
+        assert self._count_warnings(
+            lambda: warn_deprecated_once("k", "gone")) == 0
+        reset_deprecation_warnings()
+        assert self._count_warnings(
+            lambda: warn_deprecated_once("k", "gone")) == 1
+
+
+# -- counter thread-safety ---------------------------------------------------
+
+
+class TestCounterThreadSafety:
+    def test_prf_evals_exact_under_concurrent_decrypt_column(self):
+        ashe = AsheScheme(SplitMix64Prf(KEY))  # fresh counter for exactness
+        rows, n_threads, iterations = 512, 8, 20
+        values = np.arange(rows, dtype=np.int64)
+        cipher = ashe.encrypt_column(values, start_id=1)
+        after_encrypt = ashe.prf_evals
+        assert after_encrypt == rows + 1
+
+        errors: list[Exception] = []
+        start = threading.Barrier(n_threads)
+
+        def hammer():
+            try:
+                start.wait()
+                for _ in range(iterations):
+                    out = ashe.decrypt_column(cipher, start_id=1)
+                    assert np.array_equal(out, values)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert not errors
+        # Every decrypt_column costs exactly rows+1 evaluations; a racy
+        # `+=` would lose increments under this load.
+        expected = after_encrypt + n_threads * iterations * (rows + 1)
+        assert ashe.prf_evals == expected
