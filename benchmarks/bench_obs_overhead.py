@@ -1,0 +1,123 @@
+"""Telemetry overhead gate: tracing + metrics must cost <= 5% QPS.
+
+The ``repro.obs`` subsystem instruments every layer of the Figure 7
+query path -- client bind/decrypt spans, per-stage cluster spans, the
+JobMetrics fold into the registry, kernel timing histograms -- and its
+whole value proposition is "leave it on in production".  This benchmark
+proves that claim: the same prepared aggregate (the paper's
+``SELECT sum(value)`` workload) runs in a tight loop with telemetry
+fully enabled and fully disabled (the ``repro.obs.set_enabled`` kill
+switch), alternating rounds to decorrelate drift, best-of-``ROUNDS``
+per mode.
+
+Floor, asserted here and re-verified from ``BENCH_obs.json`` in CI:
+enabled-mode QPS must stay within ``OVERHEAD_CAP_PCT`` of disabled-mode
+QPS.
+"""
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import repro.obs
+from repro.bench import ResultSink, format_table
+from repro.core.proxy import SeabedClient
+from repro.core.schema import ColumnSpec, TableSchema
+from repro.obs import trace as obs_trace
+from repro.workloads import synthetic
+
+#: Enabled-mode QPS may trail disabled-mode QPS by at most this much.
+OVERHEAD_CAP_PCT = 5.0
+#: Alternating measurement rounds per mode; best round wins (min-of-K
+#: is the standard defence against one-off scheduler noise).
+ROUNDS = 5
+#: Prepared-query executions per round.
+QUERIES_PER_ROUND = 12
+
+_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+_QUERY = "SELECT sum(value) FROM synth"
+
+
+def _build(rows, cluster, scale):
+    data = synthetic.generate(rows, seed=1)
+    schema = TableSchema("synth", [
+        ColumnSpec("value", dtype="int", sensitive=True, nbits=32),
+    ])
+    client = SeabedClient(mode="seabed", cluster=cluster,
+                          paillier_bits=scale["paillier_bits"],
+                          paillier_blinding_pool=32, seed=1)
+    client.create_plan(schema, [_QUERY])
+    client.upload("synth", dict(data.columns), num_partitions=50)
+    return client
+
+
+def _round_qps(client, enabled):
+    """One measurement round: QUERIES_PER_ROUND prepared executions."""
+    repro.obs.set_enabled(enabled)
+    try:
+        t0 = time.perf_counter()
+        for _ in range(QUERIES_PER_ROUND):
+            client.query(_QUERY)
+        wall = time.perf_counter() - t0
+    finally:
+        repro.obs.set_enabled(True)
+    return QUERIES_PER_ROUND / max(wall, 1e-12)
+
+
+def test_obs_overhead(benchmark, scale, paper_cluster):
+    rows = scale["fig7_rows"]
+    record: dict = {}
+
+    def experiment():
+        client = _build(rows, paper_cluster, scale)
+        client.query(_QUERY)  # warm caches on both paths
+        obs_trace.get_tracer().clear()
+
+        on, off = [], []
+        for _ in range(ROUNDS):  # alternate to decorrelate drift
+            off.append(_round_qps(client, enabled=False))
+            on.append(_round_qps(client, enabled=True))
+
+        qps_off, qps_on = max(off), max(on)
+        overhead_pct = max(0.0, (qps_off - qps_on) / qps_off * 100.0)
+        record.update(
+            rows=rows,
+            rounds=ROUNDS,
+            queries_per_round=QUERIES_PER_ROUND,
+            qps_disabled=qps_off,
+            qps_enabled=qps_on,
+            overhead_pct=overhead_pct,
+            overhead_cap_pct=OVERHEAD_CAP_PCT,
+            spans_retained=len(obs_trace.get_tracer()),
+        )
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1, warmup_rounds=0)
+
+    record["host"] = {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+    }
+    _JSON_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+    with ResultSink("obs_overhead") as sink:
+        sink.emit(format_table(
+            ["Mode", "QPS"],
+            [
+                ["telemetry disabled", round(record["qps_disabled"], 1)],
+                ["telemetry enabled (spans + metrics)",
+                 round(record["qps_enabled"], 1)],
+            ],
+            title=(
+                f"Figure 7 prepared sum over {rows:,} rows: telemetry "
+                f"costs {record['overhead_pct']:.2f}% QPS "
+                f"(cap {OVERHEAD_CAP_PCT}%)"
+            ),
+        ))
+
+    assert record["overhead_pct"] <= OVERHEAD_CAP_PCT, (
+        f"tracing + metrics cost {record['overhead_pct']:.2f}% QPS "
+        f"(cap {OVERHEAD_CAP_PCT}%)"
+    )

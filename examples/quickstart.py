@@ -79,6 +79,12 @@ parser.add_argument(
          "it through a remote session",
 )
 parser.add_argument(
+    "--metrics", action="store_true",
+    help="demo the telemetry layer: run a traced query, print the stitched "
+         "cross-process span tree, and scrape the server's Prometheus "
+         "metrics over the wire (implies --serve)",
+)
+parser.add_argument(
     "--connect", metavar="HOST:PORT", default=None,
     help="connect to an already-running Seabed server instead of hosting one",
 )
@@ -91,6 +97,8 @@ parser.add_argument(
     help="store path to open over --connect",
 )
 args = parser.parse_args()
+if args.metrics:
+    args.serve = True
 
 #: Fixed for the demo so --persist can attach from a fresh session; real
 #: deployments generate and guard this key.
@@ -341,6 +349,38 @@ if args.serve:
               f"({audit['objects_walked']:,} objects walked, "
               f"{len(audit['flagged'])} flagged)")
         assert audit["ok"], audit["flagged"]
+
+        # -- 9b. optional live telemetry demo (--metrics) ---------------------
+        if args.metrics:
+            from repro.obs import trace as obs_trace
+
+            print("\ntelemetry: one traced query, stitched across processes")
+            obs_trace.get_tracer().clear()
+            with obs_trace.span("quickstart:traced-query"):
+                remote.query(sql, expected_groups=len(COUNTRIES))
+                ctx = obs_trace.current_context()
+            spans = obs_trace.get_tracer().spans(trace_id=ctx["trace_id"])
+            procs = {s.process for s in spans}
+            print(f"   {len(spans)} spans from {len(procs)} processes "
+                  f"({', '.join(sorted(procs))}):")
+            for line in obs_trace.render_tree(spans).splitlines():
+                print(f"     {line}")
+
+            scrape = remote.transport.server_metrics()
+            wanted = ("seabed_service_request_seconds_count",
+                      "seabed_kernel_values_total",
+                      "seabed_slow_queries_total")
+            shown = [line for line in scrape["text"].splitlines()
+                     if line.startswith(wanted)]
+            print("   live Prometheus scrape of the serving process "
+                  f"({len(scrape['text'].splitlines())} lines, showing "
+                  f"{len(shown)}):")
+            for line in shown[:8]:
+                print(f"     {line}")
+            assert any(
+                line.startswith("seabed_service_request_seconds_count")
+                for line in shown
+            ), "the scrape is missing the request-latency histogram"
         remote.close()
 
 if args.connect:

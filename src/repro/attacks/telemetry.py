@@ -1,0 +1,134 @@
+"""Audit telemetry exports for plaintext / key-material leakage.
+
+The Seabed threat model lets the server observe ciphertext *sizes* and
+*timings* -- telemetry that reveals anything more (plaintext values, key
+bytes, auth tokens) silently widens that model.  This audit inspects the
+two surfaces the :mod:`repro.obs` subsystem exports -- span attributes
+and Prometheus metric labels -- and flags anything that does not look
+like the sizes/counts/timings/short-identifiers contract those surfaces
+promise:
+
+- raw ``bytes`` values anywhere (ciphertexts and keys are ``bytes``;
+  telemetry must never carry them, even encoded),
+- overlong strings (span attributes and metric label values are short
+  operator/table/tenant names -- a 64-char ceiling by default),
+- high-entropy strings that look like hex/base64 key or token material
+  (long strings drawn almost entirely from a hex-ish alphabet).
+
+The heuristics mirror :func:`repro.attacks.frequency.frequency_attack`'s
+role in the test suite: an adversarial check the integration tests run
+against *live* exports, so a regression that starts attaching secrets to
+spans fails loudly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["TelemetryAuditResult", "audit_telemetry"]
+
+#: Longest string a span attribute or label value may carry.  Table,
+#: tenant, operator, and scheme names are all far shorter; plaintext
+#: cell values and encoded ciphertexts are typically far longer.
+MAX_STRING = 64
+
+#: Strings at least this long made (almost) entirely of hex characters
+#: are treated as likely key/token/ciphertext material.
+_HEXISH_MIN = 24
+_HEXISH = set("0123456789abcdefABCDEF")
+
+#: Keys that must never appear on any telemetry surface, whatever the
+#: value: their presence alone means someone wired a secret through.
+_FORBIDDEN_KEYS = frozenset({
+    "key", "master_key", "secret", "token", "auth", "password",
+    "plaintext", "value", "values",
+})
+
+
+@dataclass
+class TelemetryAuditResult:
+    """Outcome of auditing span and metric exports for leakage."""
+
+    spans_checked: int
+    labels_checked: int
+    violations: list[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        state = "ok" if self.ok else f"{len(self.violations)} violation(s)"
+        return (
+            f"telemetry audit: {self.spans_checked} spans, "
+            f"{self.labels_checked} label values -- {state}"
+        )
+
+
+def _hexish(text: str) -> bool:
+    if len(text) < _HEXISH_MIN:
+        return False
+    hex_chars = sum(1 for ch in text if ch in _HEXISH)
+    return hex_chars / len(text) > 0.9
+
+
+def _check_value(where: str, key: str, value, violations: list[str]) -> None:
+    if key.lower() in _FORBIDDEN_KEYS:
+        violations.append(f"{where}: forbidden key {key!r}")
+        return
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        violations.append(f"{where}: raw bytes under {key!r} ({len(value)} bytes)")
+        return
+    if isinstance(value, str):
+        # Trace/span ids are hex by design; only their own keys may be.
+        if key in ("trace_id", "span_id", "parent_id"):
+            return
+        if len(value) > MAX_STRING:
+            violations.append(
+                f"{where}: overlong string under {key!r} ({len(value)} chars)"
+            )
+        elif _hexish(value):
+            violations.append(
+                f"{where}: high-entropy hex-like string under {key!r}"
+            )
+
+
+def _iter_label_values(prometheus_text: str) -> Iterable[tuple[str, str, str]]:
+    """Yield ``(metric, label, value)`` from exposition-format sample lines."""
+    for line in prometheus_text.splitlines():
+        if not line or line.startswith("#") or "{" not in line:
+            continue
+        name, rest = line.split("{", 1)
+        body = rest.rsplit("}", 1)[0]
+        for pair in body.split(","):
+            if "=" not in pair:
+                continue
+            label, raw = pair.split("=", 1)
+            yield name.strip(), label.strip(), raw.strip().strip('"')
+
+
+def audit_telemetry(spans=(), prometheus_text: str = "") -> TelemetryAuditResult:
+    """Audit span attributes and Prometheus labels for secret material.
+
+    ``spans`` is any iterable of :class:`repro.obs.trace.Span` (or their
+    ``to_dict()`` forms); ``prometheus_text`` is a
+    :meth:`~repro.obs.metrics.MetricsRegistry.prometheus` export.  Either
+    may be empty.  Returns a :class:`TelemetryAuditResult`; callers
+    assert ``result.ok``.
+    """
+    violations: list[str] = []
+    spans_checked = 0
+    for sp in spans:
+        data = sp.to_dict() if hasattr(sp, "to_dict") else dict(sp)
+        spans_checked += 1
+        where = f"span {data.get('name', '?')!r}"
+        for key, value in (data.get("attributes") or {}).items():
+            _check_value(where, key, value, violations)
+
+    labels_checked = 0
+    for metric, label, value in _iter_label_values(prometheus_text):
+        labels_checked += 1
+        _check_value(f"metric {metric!r}", label, value, violations)
+
+    return TelemetryAuditResult(spans_checked, labels_checked, violations)

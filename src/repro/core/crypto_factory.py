@@ -4,6 +4,12 @@ Section 4.2: "We choose a different secret key k for each new column we
 encrypt."  The factory derives one subkey per physical column (or per join
 group, so equi-join columns in different tables share DET ciphertexts) and
 caches scheme instances.
+
+Every instance is handed out behind an
+:class:`~repro.crypto.kernel.InstrumentedKernel` wrapper, so the batch
+kernel calls the client issues (encrypt/decrypt/compare/pad) feed the
+per-scheme ``seabed_kernel_*`` metrics for free; the wrapper forwards
+all other attributes to the scheme, so callers are none the wiser.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ import threading
 
 from repro.crypto.ashe import AsheScheme
 from repro.crypto.det import DetScheme
+from repro.crypto.kernel import InstrumentedKernel
 from repro.crypto.keys import KeyChain
 from repro.crypto.ore import OreScheme
 from repro.crypto.prf import prf_from_name
@@ -33,9 +40,9 @@ class CryptoFactory:
         self._prf_backend = prf_backend
         self._det_backend = det_backend
         self._ore_backend = ore_backend
-        self._ashe: dict[str, AsheScheme] = {}
-        self._det: dict[str, DetScheme] = {}
-        self._ore: dict[str, OreScheme] = {}
+        self._ashe: dict[str, InstrumentedKernel] = {}
+        self._det: dict[str, InstrumentedKernel] = {}
+        self._ore: dict[str, InstrumentedKernel] = {}
         # query_many() decrypts on several threads; the lock keeps the
         # check-then-insert below from constructing a scheme twice (the
         # loser's per-scheme op counters would be silently discarded).
@@ -47,16 +54,16 @@ class CryptoFactory:
         store sidecar so a re-save after attach cannot drift from it."""
         return self._prf_backend
 
-    def ashe(self, physical_column: str) -> AsheScheme:
+    def ashe(self, physical_column: str) -> InstrumentedKernel:
         with self._lock:
             if physical_column not in self._ashe:
                 key = self._keychain.column_key(self._table, physical_column, "ashe")
-                self._ashe[physical_column] = AsheScheme(
-                    prf_from_name(self._prf_backend, key)
+                self._ashe[physical_column] = InstrumentedKernel(
+                    AsheScheme(prf_from_name(self._prf_backend, key)), "ashe"
                 )
             return self._ashe[physical_column]
 
-    def det(self, physical_column: str, join_group: str | None = None) -> DetScheme:
+    def det(self, physical_column: str, join_group: str | None = None) -> InstrumentedKernel:
         cache_key = f"join:{join_group}" if join_group else physical_column
         with self._lock:
             if cache_key not in self._det:
@@ -64,15 +71,20 @@ class CryptoFactory:
                     key = self._keychain.derive("join", join_group, "det")
                 else:
                     key = self._keychain.column_key(self._table, physical_column, "det")
-                self._det[cache_key] = DetScheme(key, backend=self._det_backend)
+                self._det[cache_key] = InstrumentedKernel(
+                    DetScheme(key, backend=self._det_backend), "det"
+                )
             return self._det[cache_key]
 
-    def ore(self, physical_column: str, nbits: int = 32, signed: bool = True) -> OreScheme:
+    def ore(self, physical_column: str, nbits: int = 32,
+            signed: bool = True) -> InstrumentedKernel:
         cache_key = f"{physical_column}/{nbits}/{signed}"
         with self._lock:
             if cache_key not in self._ore:
                 key = self._keychain.column_key(self._table, physical_column, "ore")
-                self._ore[cache_key] = OreScheme(
-                    key, nbits=nbits, signed=signed, backend=self._ore_backend
+                self._ore[cache_key] = InstrumentedKernel(
+                    OreScheme(key, nbits=nbits, signed=signed,
+                              backend=self._ore_backend),
+                    "ore",
                 )
             return self._ore[cache_key]

@@ -33,13 +33,16 @@ Supported physical operations:
 from __future__ import annotations
 
 import itertools
+import logging
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 import numpy as np
 
 from repro.crypto import ore as ore_mod
+from repro.crypto.kernel import observe_kernel_op
 from repro.crypto.prf import MASK64
 from repro.engine.cluster import SimulatedCluster
 from repro.engine.metrics import JobMetrics
@@ -55,6 +58,9 @@ from repro.errors import ExecutionError, StorageError
 from repro.idlist import IdList, get_codec
 from repro.idlist.codec import encode_groups_vb_diff, encode_multiset
 from repro.index import prune
+from repro.obs import metrics as _obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.log import get_logger, log_event
 
 _U64 = np.uint64
 
@@ -130,19 +136,31 @@ def eval_filter(columns: dict[str, np.ndarray], expr: FilterExpr | None,
         return np.asarray(_PLAIN_OPS[expr.op](columns[expr.column], expr.value),
                           dtype=bool)
     if isinstance(expr, DetEq):
+        t0 = time.perf_counter() if _obs_metrics.enabled() else 0.0
         mask = columns[expr.column] == _U64(expr.token)
+        if t0:
+            observe_kernel_op("det", "compare_column",
+                              time.perf_counter() - t0, nrows)
         return ~mask if expr.negate else mask
     if isinstance(expr, DetIn):
         col = columns[expr.column]
+        t0 = time.perf_counter() if _obs_metrics.enabled() else 0.0
         mask = np.zeros(nrows, dtype=bool)
         for token in expr.tokens:
             mask |= col == _U64(token)
+        if t0:
+            observe_kernel_op("det", "compare_column",
+                              time.perf_counter() - t0, nrows * len(expr.tokens))
         return mask
     if isinstance(expr, OreCmp):
         cipher = columns[expr.column]
+        t0 = time.perf_counter() if _obs_metrics.enabled() else 0.0
         cmp = ore_mod.compare_packed_arrays(
             cipher, np.broadcast_to(np.asarray(expr.token, dtype=_U64), cipher.shape)
         )
+        if t0:
+            observe_kernel_op("ore", "compare_column",
+                              time.perf_counter() - t0, nrows)
         return {
             "<": cmp < 0, "<=": cmp <= 0, ">": cmp > 0, ">=": cmp >= 0,
             "=": cmp == 0, "!=": cmp != 0,
@@ -516,6 +534,16 @@ class SeabedServer:
     # -- execution -------------------------------------------------------------
 
     def execute(self, q: ServerQuery) -> ServerResponse:
+        with obs_trace.span("server:execute", table=q.table) as sp:
+            response = self._execute_query(q)
+        metrics = response.metrics
+        if sp is not None and metrics is not None:
+            sp.set(server_s=metrics.server_time,
+                   result_bytes=metrics.result_bytes)
+        self._maybe_log_slow(q, metrics)
+        return response
+
+    def _execute_query(self, q: ServerQuery) -> ServerResponse:
         coordinator = self._sharded.get(q.table)
         if coordinator is not None:
             return coordinator.execute(q)
@@ -530,6 +558,37 @@ class SeabedServer:
         response.metrics = metrics
         self.cluster.account_result_transfer(metrics, response.payload_bytes)
         return response
+
+    def _maybe_log_slow(self, q: ServerQuery, metrics: JobMetrics | None) -> None:
+        """Emit the structured slow-query event when the job's simulated
+        server time crosses ``ClusterConfig.slow_query_s``.
+
+        Logged fields are operational only -- table name, timings, stage
+        and byte counts -- never tokens, ciphertexts, or plaintexts.
+        """
+        threshold = self.cluster.config.slow_query_s
+        if threshold is None or metrics is None:
+            return
+        server_s = metrics.server_time
+        if server_s < threshold:
+            return
+        log_event(
+            "slow_query",
+            level=logging.WARNING,
+            logger=get_logger("slow"),
+            table=q.table,
+            server_s=round(server_s, 6),
+            threshold_s=threshold,
+            stages=len(metrics.stages),
+            result_bytes=metrics.result_bytes,
+            grouped=q.group_by is not None,
+            filtered=q.filter is not None,
+        )
+        _obs_metrics.get_registry().counter(
+            "seabed_slow_queries_total",
+            "Queries whose server time crossed ClusterConfig.slow_query_s.",
+            labelnames=("table",),
+        ).inc(1.0, table=q.table)
 
     # -- zone-map pruning --------------------------------------------------------
 

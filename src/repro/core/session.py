@@ -66,6 +66,8 @@ from repro.errors import (
     TranslationError,
     TransportError,
 )
+from repro.obs import metrics as _obs_metrics
+from repro.obs import trace as obs_trace
 from repro.ops import OPS
 from repro.query.ast import (
     And,
@@ -329,25 +331,36 @@ class PreparedQuery:
     ) -> QueryResult:
         assert self._translated is not None
         session = self._session
-        t0 = time.perf_counter()
-        requests = (
-            bind_requests(self._translated.requests, values)
-            if values
-            else self._translated.requests
-        )
-        bind_time = time.perf_counter() - t0
+        with obs_trace.span(
+            "query:aggregate", table=self.query.table, category=self.category
+        ):
+            t0 = time.perf_counter()
+            requests = (
+                bind_requests(self._translated.requests, values)
+                if values
+                else self._translated.requests
+            )
+            bind_time = time.perf_counter() - t0
+            obs_trace.record_span("client:bind", t0, t0 + bind_time,
+                                  requests=len(requests))
 
-        responses = [
-            session.transport.execute(r, timeout=timeout) for r in requests
-        ]
+            responses = [
+                session.transport.execute(r, timeout=timeout) for r in requests
+            ]
 
-        t0 = time.perf_counter()
-        rows = self._decryptor.decrypt(self._translated, responses)
-        client_time = bind_time + (time.perf_counter() - t0)
+            t1 = time.perf_counter()
+            rows = self._decryptor.decrypt(self._translated, responses)
+            t2 = time.perf_counter()
+            client_time = bind_time + (t2 - t1)
+            obs_trace.record_span("client:decrypt", t1, t2, rows=len(rows))
 
         metrics = [r.metrics for r in responses]
+        transport_kind = type(session.transport).__name__
         for m in metrics:
             m.client_time = client_time / max(len(metrics), 1)
+            _obs_metrics.observe_job(
+                m, table=self.query.table, transport=transport_kind
+            )
         return QueryResult(
             rows=rows,
             request_metrics=metrics,
@@ -359,23 +372,32 @@ class PreparedQuery:
         self, values: dict[str, Any], timeout: float | None = None
     ) -> QueryResult:
         session = self._session
-        t0 = time.perf_counter()
-        scan_filter = (
-            bind_filter(self._scan_filter, values) if values else self._scan_filter
-        )
-        bind_time = time.perf_counter() - t0
-        response = session.transport.scan(
-            self.query.table,
-            [column for column, _ in self._scan_physical.values()],
-            scan_filter,
-            timeout=timeout,
-        )
-        t0 = time.perf_counter()
-        rows = self._decryptor.decrypt_scan(
-            self._scan_requested, self._scan_physical, response
-        )
-        client_time = bind_time + (time.perf_counter() - t0)
+        with obs_trace.span("query:scan", table=self.query.table):
+            t0 = time.perf_counter()
+            scan_filter = (
+                bind_filter(self._scan_filter, values) if values else self._scan_filter
+            )
+            bind_time = time.perf_counter() - t0
+            obs_trace.record_span("client:bind", t0, t0 + bind_time)
+            response = session.transport.scan(
+                self.query.table,
+                [column for column, _ in self._scan_physical.values()],
+                scan_filter,
+                timeout=timeout,
+            )
+            t1 = time.perf_counter()
+            rows = self._decryptor.decrypt_scan(
+                self._scan_requested, self._scan_physical, response
+            )
+            t2 = time.perf_counter()
+            client_time = bind_time + (t2 - t1)
+            obs_trace.record_span("client:decrypt", t1, t2, rows=len(rows))
         response.metrics.client_time = client_time
+        _obs_metrics.observe_job(
+            response.metrics,
+            table=self.query.table,
+            transport=type(session.transport).__name__,
+        )
         rows = order_and_limit(rows, self.query)
         return QueryResult(
             rows=rows,

@@ -34,12 +34,14 @@ kernels against.
 from __future__ import annotations
 
 import threading
+import time
 import warnings
 from typing import Protocol, runtime_checkable
 
 import numpy as np
 
 from repro.errors import CryptoError, KernelUnsupported
+from repro.obs import metrics as _obs_metrics
 
 _U64 = np.uint64
 
@@ -110,6 +112,98 @@ def reset_deprecation_warnings() -> None:
         _WARNED.clear()
 
 
+# -- kernel instrumentation --------------------------------------------------
+
+#: ns/op buckets for per-scheme kernel timings: 1 ns .. 100 us per value.
+KERNEL_NS_BUCKETS = (
+    1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1e3, 3e3, 1e4, 3e4, 1e5,
+)
+
+
+def observe_kernel_op(scheme: str, op: str, seconds: float, values: int) -> None:
+    """Fold one batch kernel call into the metrics registry.
+
+    Records a per-scheme/per-op ns-per-value histogram
+    (``seabed_kernel_ns_per_op``) and a processed-value counter
+    (``seabed_kernel_values_total``) -- the live counterpart of the
+    Table 1 numbers ``benchmarks/bench_kernels.py`` measures offline.
+    """
+    if not _obs_metrics.enabled() or values <= 0:
+        return
+    reg = _obs_metrics.get_registry()
+    reg.histogram(
+        "seabed_kernel_ns_per_op",
+        "Batch crypto-kernel cost per value, by scheme and operation.",
+        labelnames=("scheme", "op"),
+        buckets=KERNEL_NS_BUCKETS,
+    ).observe(seconds * 1e9 / values, scheme=scheme, op=op)
+    reg.counter(
+        "seabed_kernel_values_total",
+        "Values processed by batch crypto kernels.",
+        labelnames=("scheme", "op"),
+    ).inc(float(values), scheme=scheme, op=op)
+
+
+class InstrumentedKernel:
+    """Transparent timing wrapper around any :class:`Kernel`.
+
+    Times the four batch operations into :func:`observe_kernel_op` and
+    forwards everything else (``token_for``, ``KERNEL_UNSUPPORTED``,
+    scheme-specific helpers) to the wrapped instance, so callers that
+    duck-type against scheme attributes keep working unchanged.
+    """
+
+    __slots__ = ("_kernel", "_scheme")
+
+    def __init__(self, kernel, scheme: str) -> None:
+        self._kernel = kernel
+        self._scheme = scheme
+
+    @property
+    def wrapped(self):
+        return self._kernel
+
+    def _timed(self, op: str, fn, values: int, *args, **kwargs):
+        t0 = time.perf_counter()
+        out = fn(*args, **kwargs)
+        observe_kernel_op(self._scheme, op, time.perf_counter() - t0, values)
+        return out
+
+    def encrypt_column(self, values, start_id: int = 0):
+        n = len(values) if hasattr(values, "__len__") else 0
+        return self._timed(
+            "encrypt_column", self._kernel.encrypt_column, n, values, start_id
+        )
+
+    def decrypt_column(self, cipher, start_id: int = 0):
+        n = len(cipher) if hasattr(cipher, "__len__") else 0
+        return self._timed(
+            "decrypt_column", self._kernel.decrypt_column, n, cipher, start_id
+        )
+
+    def compare_column(self, cipher, token):
+        n = len(cipher) if hasattr(cipher, "__len__") else 0
+        return self._timed(
+            "compare_column", self._kernel.compare_column, n, cipher, token
+        )
+
+    def pad_range(self, start_id: int, count: int):
+        return self._timed(
+            "pad_range", self._kernel.pad_range, count, start_id, count
+        )
+
+    def __getattr__(self, name: str):
+        return getattr(self._kernel, name)
+
+    def __reduce__(self):
+        # Explicit so pickling (process backends, shard workers) never
+        # routes through __getattr__ forwarding.
+        return (InstrumentedKernel, (self._kernel, self._scheme))
+
+    def __repr__(self) -> str:
+        return f"InstrumentedKernel({self._scheme}, {self._kernel!r})"
+
+
 # -- the trivial kernel ------------------------------------------------------
 
 
@@ -150,10 +244,12 @@ class PlainKernel:
 
 __all__ = [
     "KERNEL_OPS",
+    "InstrumentedKernel",
     "Kernel",
     "KernelUnsupported",
     "PlainKernel",
     "kernel_ops",
+    "observe_kernel_op",
     "reset_deprecation_warnings",
     "validate_kernel",
     "warn_deprecated_once",

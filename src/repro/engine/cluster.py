@@ -31,6 +31,7 @@ from repro.engine import store
 from repro.engine.backends import ExecutionBackend, TimedResult, make_backend
 from repro.engine.metrics import JobMetrics, StageMetrics
 from repro.errors import ExecutionError
+from repro.obs import trace as obs_trace
 
 T = TypeVar("T")
 
@@ -97,6 +98,11 @@ class ClusterConfig:
     #: buys back the one-time spill write for short-lived tables (and
     #: gives benchmarks the pickled-column baseline).
     spill_to_store: bool = True
+    #: Slow-query threshold (seconds of simulated server time).  When
+    #: set, queries whose ``JobMetrics.server_time`` crosses it emit a
+    #: structured ``slow_query`` event on the ``repro.obs`` logger and
+    #: bump ``seabed_slow_queries_total``.  ``None`` disables the log.
+    slow_query_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.cores < 1:
@@ -117,6 +123,11 @@ class ClusterConfig:
             raise ExecutionError(
                 f"reader_keep_generations must be at least 1, "
                 f"got {self.reader_keep_generations}"
+            )
+        if self.slow_query_s is not None and self.slow_query_s < 0:
+            raise ExecutionError(
+                f"slow_query_s must be None or non-negative, "
+                f"got {self.slow_query_s}"
             )
 
     def with_cores(self, cores: int) -> "ClusterConfig":
@@ -274,6 +285,11 @@ class SimulatedCluster:
         )
         if metrics is not None:
             metrics.add_stage(stage)
+        end = time.perf_counter()
+        obs_trace.record_span(
+            f"stage:{name}", end - wall, end,
+            tasks=stage.num_tasks, makespan_s=stage.makespan,
+        )
         return results, stage
 
     def run_driver(
@@ -288,6 +304,7 @@ class SimulatedCluster:
         )
         if metrics is not None:
             metrics.add_stage(stage)
+        obs_trace.record_span(f"stage:{name}", t0, t0 + elapsed, tasks=1)
         return result
 
     # -- network model --------------------------------------------------------

@@ -107,6 +107,20 @@ class JobMetrics:
         raise KeyError(f"no stage named {name!r}")
 
     def summary(self) -> dict[str, float]:
+        """Flat key/value rendering of the job's accounting.
+
+        Optional key groups appear all-or-nothing so consumers can rely
+        on the key *set*, not just the values:
+
+        - ``shards_total``/``shards_skipped``/``failovers`` appear only
+          for scatter-gathered jobs (``shards_total > 0``).
+        - ``queue_wait_s``/``wire_s`` appear only for jobs that crossed
+          the service boundary, and always as a *pair*: a remote call
+          with measured ``wire_time`` but zero ``queue_wait`` (or the
+          reverse -- e.g. a queued request whose round trip was never
+          measured) still emits **both** keys, the missing one as 0.0.
+          In-process transports, where both are zero, emit neither.
+        """
         return {
             "server_s": self.server_time,
             "real_s": self.real_time,

@@ -13,6 +13,16 @@ message))``.  Calls are serialised per handle with a lock, so a handle
 is safe to share across the coordinator's scatter threads (each shard
 gets its own handle, so cross-shard calls still overlap).
 
+Tracing rides the same protocol without changing its shape for
+untraced peers: when the caller has an ambient :mod:`repro.obs.trace`
+span, :meth:`WorkerHandle.call` attaches its context under the reserved
+``__trace__`` kwarg; :func:`serve` pops it, runs the handler inside a
+``worker:<method>`` child span, and returns the worker-side spans as an
+optional fourth reply element, which the caller ingests into its own
+tracer.  A peer that sends no ``__trace__`` (or replies with the plain
+three-tuple) is handled identically to one that predates tracing --
+version skew degrades to a local-only trace, never an error.
+
 Failure model: a worker that dies mid-call surfaces as
 :class:`WorkerDied` (an :class:`~repro.errors.ExecutionError`), raised
 from ``EOFError``/``BrokenPipeError`` or from a dead-process check --
@@ -37,6 +47,7 @@ from multiprocessing import Pipe, Process, connection
 from typing import Any, Callable, Mapping
 
 from repro.errors import ExecutionError
+from repro.obs import trace as obs_trace
 
 #: Exit status for fail-point kills (matches the store's crash points).
 CRASH_STATUS = 70
@@ -85,6 +96,7 @@ def serve(conn: connection.Connection, handlers: Mapping[str, Callable[..., Any]
             req_id, method, kwargs = conn.recv()
         except (EOFError, OSError):
             return  # coordinator went away; nothing to reply to
+        trace_ctx = kwargs.pop("__trace__", None)
         if method == "__arm_exit__":
             armed[kwargs["method"]] = int(kwargs["after"])
             conn.send((req_id, "ok", None))
@@ -93,8 +105,16 @@ def serve(conn: connection.Connection, handlers: Mapping[str, Callable[..., Any]
         if handler is None and method != "shutdown":
             conn.send((req_id, "err", ("ExecutionError", f"unknown method {method!r}")))
             continue
+        trace_id = None
         try:
-            result = handler(**kwargs) if handler is not None else None
+            if trace_ctx is not None and obs_trace.enabled():
+                with obs_trace.continue_context(trace_ctx):
+                    with obs_trace.span(f"worker:{method}") as sp:
+                        if sp is not None:
+                            trace_id = sp.trace_id
+                        result = handler(**kwargs) if handler is not None else None
+            else:
+                result = handler(**kwargs) if handler is not None else None
         except BaseException as exc:  # noqa: BLE001 -- report, don't die
             conn.send((req_id, "err", (type(exc).__name__, str(exc))))
             continue
@@ -102,7 +122,11 @@ def serve(conn: connection.Connection, handlers: Mapping[str, Callable[..., Any]
             armed[method] -= 1
             if armed[method] <= 0:
                 os._exit(CRASH_STATUS)  # die with the reply unsent
-        conn.send((req_id, "ok", result))
+        if trace_id is not None:
+            spans = [s.to_dict() for s in obs_trace.get_tracer().take(trace_id)]
+            conn.send((req_id, "ok", result, spans))
+        else:
+            conn.send((req_id, "ok", result))
         if method == "shutdown":
             return
 
@@ -145,12 +169,18 @@ class WorkerHandle:
 
     def call(self, method: str, /, **kwargs: Any) -> Any:
         """Invoke ``method`` on the worker and wait for its reply."""
+        ctx = obs_trace.current_context()
+        if ctx is not None:
+            kwargs = {**kwargs, "__trace__": ctx}
         with self._lock:
             self._req_id += 1
             req_id = self._req_id
             try:
                 self._conn.send((req_id, method, kwargs))
-                reply_id, status, payload = self._conn.recv()
+                reply = self._conn.recv()
+                reply_id, status, payload = reply[0], reply[1], reply[2]
+                if len(reply) > 3:  # worker-side spans, piggybacked home
+                    obs_trace.get_tracer().ingest(reply[3])
             except (EOFError, BrokenPipeError, OSError) as exc:
                 # The pipe fd closes a beat before the child becomes
                 # reapable; join it so ``alive`` reads False (and the

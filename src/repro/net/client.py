@@ -39,6 +39,7 @@ from repro.errors import (
     TransportError,
 )
 from repro.net import codec
+from repro.obs import trace as obs_trace
 
 #: Ops safe to replay on a fresh connection after a transport failure:
 #: pure reads, plus reconcile-style ops whose replay converges.
@@ -54,6 +55,8 @@ _IDEMPOTENT = {
     "store_stats",
     "generations",
     "audit",
+    "metrics",
+    "trace",
     "reopen",
     "attach",
     "attach_sharded",
@@ -173,12 +176,35 @@ class RemoteTransport(Transport):
             return TransportError(f"{name}: {message}")
         return cls(message)
 
+    def _trace_context(self) -> dict[str, Any] | None:
+        """The trace context attached to outgoing requests (the ambient
+        span's ids, or ``None``).  A separate method so version-skew
+        tests can stub a legacy client that never sends one."""
+        return obs_trace.current_context()
+
     def _request(
         self, op: str, args: dict[str, Any], *, timeout: float | None = None
+    ) -> Any:
+        if not obs_trace.enabled():
+            return self._request_inner(op, args, None, timeout)
+        # The wire span covers encode + socket + decode + retries; the
+        # server parents its own spans under it via the sent context.
+        with obs_trace.span(f"wire:{op}"):
+            return self._request_inner(op, args, self._trace_context(), timeout)
+
+    def _request_inner(
+        self,
+        op: str,
+        args: dict[str, Any],
+        trace_ctx: dict[str, Any] | None,
+        timeout: float | None,
     ) -> Any:
         limit = timeout if timeout is not None else self._default_timeout
         attempts = self._retries if op in _IDEMPOTENT else 1
         last: Exception | None = None
+        envelope: dict[str, Any] = {"op": op, "args": args, "timeout": limit}
+        if trace_ctx is not None:
+            envelope["trace"] = trace_ctx
         for attempt in range(attempts):
             if attempt:
                 time.sleep(self._backoff * (2 ** (attempt - 1)))
@@ -190,9 +216,7 @@ class RemoteTransport(Transport):
                 # Grace beyond the server-side budget so its typed
                 # timeout reply arrives before the socket gives up.
                 sock.settimeout(limit + 5.0 if limit is not None else None)
-                codec.write_frame(
-                    sock, "req", {"op": op, "args": args, "timeout": limit}
-                )
+                codec.write_frame(sock, "req", envelope)
                 kind, body = codec.read_frame(sock)
             except (AuthError, Backpressure):
                 raise
@@ -212,6 +236,11 @@ class RemoteTransport(Transport):
                 self._drop()
                 raise CodecError(f"expected a rep frame, got {kind!r}")
             if body.get("ok"):
+                # Server-side spans piggyback on the reply (absent from
+                # skewed peers -- then the trace is simply local-only).
+                spans = body.get("spans")
+                if spans:
+                    obs_trace.get_tracer().ingest(spans)
                 return body.get("result")
             raise self._as_error(body)
         if isinstance(last, CodecError):
@@ -321,6 +350,23 @@ class RemoteTransport(Transport):
         """Run the keyless audit *inside the serving process* and return
         its summary: ``{"ok", "objects_walked", "flagged"}``."""
         return self._request("audit", {})
+
+    def server_metrics(self, fmt: str = "prometheus") -> dict[str, Any]:
+        """Scrape the serving process's metrics registry.
+
+        ``fmt="prometheus"`` returns ``{"fmt", "text"}`` with the text
+        exposition; ``fmt="json"`` returns ``{"fmt", "metrics"}`` with
+        the nested snapshot.
+        """
+        return self._request("metrics", {"fmt": fmt})
+
+    def server_trace(
+        self, trace_id: str | None = None, limit: int = 256
+    ) -> dict[str, Any]:
+        """Fetch recent spans retained by the serving process (local-only
+        traces of untraced requests included), optionally filtered by
+        ``trace_id``; returns ``{"spans": [span dicts...]}``."""
+        return self._request("trace", {"trace_id": trace_id, "limit": limit})
 
 
 def connect(

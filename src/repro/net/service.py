@@ -56,6 +56,8 @@ from repro.errors import (
 )
 from repro.net import codec
 from repro.net.audit import audit_keyless
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 
 @dataclass(frozen=True)
@@ -307,7 +309,72 @@ class SeabedService:
                 "objects_walked": result.objects_walked,
                 "flagged": list(result.flagged),
             }
+        if op == "metrics":
+            # Live introspection: the serving process's own registry.
+            # Auth-gated like every op (the connection already passed
+            # _authenticate); contains only names, labels and numbers.
+            reg = obs_metrics.get_registry()
+            if args.get("fmt") == "json":
+                return {"fmt": "json", "metrics": reg.snapshot()}
+            return {"fmt": "prometheus", "text": reg.prometheus()}
+        if op == "trace":
+            limit = args.get("limit")
+            spans = obs_trace.get_tracer().spans(
+                trace_id=args.get("trace_id"),
+                limit=int(limit) if limit is not None else 256,
+            )
+            return {"spans": [s.to_dict() for s in spans]}
         raise TransportError(f"unknown service operation {op!r}")
+
+    def _traced_run(
+        self,
+        user: str,
+        op: str,
+        args: dict[str, Any],
+        trace_ctx: dict[str, Any] | None,
+        queue_wait: float,
+    ) -> tuple[Any, list[dict]]:
+        """Executor-thread wrapper around :meth:`_run_op`.
+
+        ``run_in_executor`` does not propagate contextvars, so the
+        caller's trace context is re-installed here explicitly.  Returns
+        ``(result, spans)`` where ``spans`` are the service-side span
+        dicts to piggyback on the reply -- empty unless the client sent a
+        trace context (local-only spans stay in this process's tracer
+        for the ``trace`` RPC instead).
+        """
+        t_start = time.perf_counter()
+        trace_id = None
+        try:
+            with obs_trace.continue_context(trace_ctx):
+                with obs_trace.span(f"service:{op}", tenant=user) as sp:
+                    if sp is not None:
+                        trace_id = sp.trace_id
+                        if queue_wait > 0:
+                            obs_trace.record_span(
+                                "service:queue_wait",
+                                t_start - queue_wait,
+                                t_start,
+                            )
+                    result = self._run_op(user, op, args)
+        finally:
+            obs_metrics.get_registry().histogram(
+                "seabed_service_request_seconds",
+                "Service request latency by operation and tenant.",
+                labelnames=("op", "tenant"),
+            ).observe(time.perf_counter() - t_start, op=op, tenant=user)
+        spans: list[dict] = []
+        if trace_id is not None and trace_ctx is not None:
+            spans = [s.to_dict() for s in obs_trace.get_tracer().take(trace_id)]
+        return result, spans
+
+    @staticmethod
+    def _trace_of(body: dict[str, Any]) -> dict[str, Any] | None:
+        """The optional trace context in a request body.  Absent or
+        malformed (a version-skewed or legacy client) yields ``None`` --
+        the request simply runs with a local-only trace."""
+        ctx = body.get("trace")
+        return ctx if isinstance(ctx, dict) else None
 
     # -- admission + dispatch (event loop) ---------------------------------
 
@@ -338,11 +405,17 @@ class SeabedService:
             return _error_reply(CodecError("malformed request body"))
         op = body["op"]
         args = body.get("args") or {}
+        trace_ctx = self._trace_of(body)
         if op == "ping":
             return {"ok": True, "result": {"server": "seabed", "user": user}}
         tenant = self._tenant(user)
         queued_at = time.monotonic()
         if not await self._admit(tenant):
+            obs_metrics.get_registry().counter(
+                "seabed_backpressure_total",
+                "Requests rejected by per-tenant admission control.",
+                labelnames=("tenant",),
+            ).inc(1.0, tenant=user)
             return _error_reply(
                 Backpressure(
                     f"tenant {user!r} is over its admission budget "
@@ -355,7 +428,8 @@ class SeabedService:
         timeout = _effective_timeout(body.get("timeout"), self.config.request_timeout)
         assert self._loop is not None
         future = self._loop.run_in_executor(
-            self._pool, partial(self._run_op, user, op, args)
+            self._pool,
+            partial(self._traced_run, user, op, args, trace_ctx, queue_wait),
         )
         # The slot is held until the executor thread actually finishes --
         # a timed-out request keeps consuming its budget rather than
@@ -365,7 +439,7 @@ class SeabedService:
             lambda f: (tenant.sem.release(), f.cancelled() or f.exception())
         )
         try:
-            result = await asyncio.wait_for(asyncio.shield(future), timeout)
+            result, spans = await asyncio.wait_for(asyncio.shield(future), timeout)
         except (asyncio.TimeoutError, TimeoutError):
             return _error_reply(
                 TransportError(f"request {op!r} timed out after {timeout}s server-side")
@@ -374,7 +448,10 @@ class SeabedService:
             return _error_reply(exc)
         if isinstance(result, srv.ServerResponse) and result.metrics is not None:
             result.metrics.queue_wait = queue_wait
-        return {"ok": True, "result": result}
+        reply: dict[str, Any] = {"ok": True, "result": result}
+        if spans:
+            reply["spans"] = spans
+        return reply
 
     # -- connection handling -----------------------------------------------
 
@@ -627,6 +704,8 @@ def main(argv: list[str] | None = None) -> None:
         help="write {'host','port'} JSON here once the socket is bound",
     )
     args = parser.parse_args(argv)
+    # Standalone serving process: name it in exported traces.
+    obs_trace.set_process_label("seabed-service")
     config = ServiceConfig(
         host=args.host,
         port=args.port,

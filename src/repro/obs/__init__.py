@@ -1,0 +1,59 @@
+"""``repro.obs`` -- end-to-end observability for the Seabed reproduction.
+
+Three small modules:
+
+- :mod:`repro.obs.trace` -- spans with an ambient contextvars parent,
+  cross-process propagation helpers, Chrome-trace / text exporters.
+- :mod:`repro.obs.metrics` -- a process-wide registry of counters,
+  gauges, and labelled histograms with Prometheus text exposition and a
+  JSON snapshot.
+- :mod:`repro.obs.log` -- the structured ``repro.obs`` logger and the
+  slow-query event helper.
+
+The package is intentionally stdlib-only so every layer -- including the
+leaf ``repro.ops`` module and forked shard workers -- can import it
+without cost or cycles.
+"""
+
+from repro.obs.log import get_logger, log_event
+from repro.obs.metrics import MetricsRegistry, get_registry, observe_job
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    chrome_trace,
+    continue_context,
+    current_context,
+    get_tracer,
+    record_span,
+    render_tree,
+    set_process_label,
+    span,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "continue_context",
+    "current_context",
+    "get_logger",
+    "get_registry",
+    "get_tracer",
+    "log_event",
+    "observe_job",
+    "record_span",
+    "render_tree",
+    "set_enabled",
+    "set_process_label",
+    "span",
+]
+
+
+def set_enabled(flag: bool) -> None:
+    """Switch span recording *and* metric updates on or off together."""
+    from repro.obs import metrics as _metrics
+    from repro.obs import trace as _trace
+
+    _trace.set_enabled(flag)
+    _metrics.set_enabled(flag)

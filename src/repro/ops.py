@@ -7,6 +7,22 @@ benchmarks use snapshots to *prove* claims like "re-executing a
 :class:`~repro.core.session.PreparedQuery` performs zero planner and
 translator work" instead of inferring them from timings.
 
+``OPS`` used to be one process-wide singleton, which concurrent sessions
+(and the multi-tenant service, whose worker threads interleave tenants)
+trampled.  It is now an *ambient* handle: by default every bump lands in
+one shared default :class:`OpCounter` -- identical observable behaviour
+-- but :func:`scoped` installs a private counter for the current
+``contextvars`` context, so two sessions (or two service requests) can
+each account their own pipeline work::
+
+    with scoped() as mine:
+        session.query(...)
+        assert mine.get("translate") == 1   # nobody else's bumps
+
+Every bump is additionally mirrored into the :mod:`repro.obs.metrics`
+registry as ``seabed_client_ops_total{op=...}``, so a metrics scrape
+sees the same counters the tests assert on.
+
 Lives at the package top level (not ``repro.core``) so leaf modules like
 the parser can bump counters without importing the core package, whose
 ``__init__`` pulls in the whole proxy pipeline.
@@ -15,7 +31,12 @@ the parser can bump counters without importing the core package, whose
 from __future__ import annotations
 
 from collections import Counter
+from contextlib import contextmanager
+from contextvars import ContextVar
 from threading import Lock
+from typing import Iterator
+
+from repro.obs import metrics as _obs_metrics
 
 
 class OpCounter:
@@ -49,5 +70,60 @@ class OpCounter:
             self._counts.clear()
 
 
-#: Process-wide counter instance the pipeline modules bump.
-OPS = OpCounter()
+#: The process-wide default counter (what ``OPS`` delegates to outside
+#: any :func:`scoped` block).
+DEFAULT_OPS = OpCounter()
+
+_ACTIVE: ContextVar[OpCounter | None] = ContextVar("repro_ops_scope", default=None)
+
+_OPS_TOTAL = _obs_metrics.get_registry().counter(
+    "seabed_client_ops_total",
+    "Client pipeline operations (parse/plan/translate/execute/cache).",
+    labelnames=("op",),
+)
+
+
+@contextmanager
+def scoped(counter: OpCounter | None = None) -> Iterator[OpCounter]:
+    """Route ``OPS`` bumps in this context to a private counter.
+
+    Yields the counter (a fresh one unless ``counter`` is given).  Scopes
+    nest; threads spawned with ``contextvars.copy_context()`` inherit the
+    scope, plain threads fall back to the shared default.
+    """
+    active = counter if counter is not None else OpCounter()
+    token = _ACTIVE.set(active)
+    try:
+        yield active
+    finally:
+        _ACTIVE.reset(token)
+
+
+class _AmbientOps:
+    """The ``OPS`` handle: delegates to the scoped counter when one is
+    active, else to :data:`DEFAULT_OPS`, and mirrors every bump into the
+    metrics registry."""
+
+    @staticmethod
+    def _target() -> OpCounter:
+        return _ACTIVE.get() or DEFAULT_OPS
+
+    def bump(self, op: str, n: int = 1) -> None:
+        self._target().bump(op, n)
+        _OPS_TOTAL.inc(float(n), op=op)
+
+    def get(self, op: str) -> int:
+        return self._target().get(op)
+
+    def snapshot(self) -> dict[str, int]:
+        return self._target().snapshot()
+
+    def delta(self, before: dict[str, int]) -> dict[str, int]:
+        return self._target().delta(before)
+
+    def reset(self) -> None:
+        self._target().reset()
+
+
+#: Ambient counter handle the pipeline modules bump.
+OPS = _AmbientOps()

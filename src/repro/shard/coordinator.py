@@ -31,8 +31,10 @@ partition-access pattern the paper's server already sees.
 
 from __future__ import annotations
 
+import contextvars
 import os
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Any, Sequence
@@ -45,6 +47,7 @@ from repro.engine.metrics import JobMetrics, StageMetrics
 from repro.engine.transport import WorkerDied, WorkerHandle
 from repro.errors import ExecutionError
 from repro.index import prune
+from repro.obs import trace as obs_trace
 from repro.shard.ring import HashRing
 from repro.shard.worker import shard_worker_main
 
@@ -288,6 +291,14 @@ class ShardedStore:
                 self.mark_dead(node)
                 failovers += 1
                 last = exc
+                # Annotate the trace (when one is live) so a stitched
+                # query shows *which* replica died mid-call; the span
+                # carries identifiers and a timestamp, nothing sensitive.
+                now = time.perf_counter()
+                obs_trace.record_span(
+                    "shard:failover", now, now,
+                    shard=shard, dead_node=node, method=method,
+                )
         raise ExecutionError(
             f"all {self.topology.replicas} replica(s) of shard {shard} "
             f"are dead; cannot execute {method!r}"
@@ -427,8 +438,13 @@ class ShardCoordinator:
         if not shards:
             return []
         with ThreadPoolExecutor(max_workers=len(shards)) as pool:
+            # copy_context(): the scatter threads inherit the caller's
+            # ambient span, so per-shard worker spans parent correctly.
             futures = [
-                pool.submit(self.store.call_shard, s, method, **kwargs_for(s))
+                pool.submit(
+                    contextvars.copy_context().run,
+                    lambda s=s: self.store.call_shard(s, method, **kwargs_for(s)),
+                )
                 for s in shards
             ]
             outcomes = [f.result() for f in futures]

@@ -38,6 +38,7 @@ from repro.engine.storage import deserialize_table
 from repro.engine.table import Table
 from repro.errors import StorageError
 from repro.index.rollup import rollup_zone_maps
+from repro.obs import trace as obs_trace
 
 
 def shard_alias(table: str, shard_id: int) -> str:
@@ -209,6 +210,7 @@ def shard_worker_main(
     config: ClusterConfig,
 ) -> None:
     """Process entry point: build the worker and serve until shutdown."""
+    obs_trace.set_process_label(f"shard-node-{node_id}")
     worker = _ShardWorker(node_id, node_dir, config)
     try:
         transport.serve(conn, worker.handlers())

@@ -1,0 +1,91 @@
+"""The telemetry leakage audit: clean exports pass, secrets are flagged."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.telemetry import audit_telemetry
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer():
+    obs_trace.get_tracer().clear()
+    yield
+    obs_trace.get_tracer().clear()
+
+
+def _span(**attrs):
+    return Span(name="op", trace_id="t", span_id="1", attributes=attrs)
+
+
+class TestCleanExports:
+    def test_empty_inputs_are_ok(self):
+        result = audit_telemetry()
+        assert result.ok
+        assert result.spans_checked == 0 and result.labels_checked == 0
+
+    def test_sizes_counts_timings_pass(self):
+        result = audit_telemetry([
+            _span(rows=100, result_bytes=4096, server_s=0.25, table="sales"),
+            _span(tasks=4, makespan_s=0.003, error=True),
+        ])
+        assert result.ok, result.violations
+        assert result.spans_checked == 2
+
+    def test_live_trace_and_metrics_pass(self):
+        with obs_trace.span("query:aggregate", table="sales", rows=10):
+            pass
+        reg = MetricsRegistry()
+        reg.counter("seabed_client_ops_total", labelnames=("op",)).inc(op="plan")
+        reg.histogram("seabed_query_seconds",
+                      labelnames=("phase", "table")).observe(0.1, phase="total",
+                                                            table="sales")
+        result = audit_telemetry(obs_trace.get_tracer().spans(), reg.prometheus())
+        assert result.ok, result.violations
+        assert result.labels_checked > 0
+
+    def test_span_dicts_accepted(self):
+        result = audit_telemetry([_span(rows=1).to_dict()])
+        assert result.ok
+
+
+class TestViolations:
+    def test_raw_bytes_flagged(self):
+        result = audit_telemetry([_span(ciphertext=b"\x01" * 32)])
+        assert not result.ok
+        assert "raw bytes" in result.violations[0]
+
+    def test_overlong_string_flagged(self):
+        result = audit_telemetry([_span(note="x" * 65)])
+        assert not result.ok
+        assert "overlong" in result.violations[0]
+
+    def test_hexlike_key_material_flagged(self):
+        leaked = "deadbeef" * 4  # 32 hex chars, key-sized
+        result = audit_telemetry([_span(blob=leaked)])
+        assert not result.ok
+        assert "high-entropy" in result.violations[0]
+
+    def test_forbidden_keys_flagged_regardless_of_value(self):
+        for key in ("token", "master_key", "plaintext"):
+            result = audit_telemetry([_span(**{key: "short"})])
+            assert not result.ok, key
+
+    def test_secret_label_value_flagged(self):
+        text = 'seabed_bad_total{token="deadbeefdeadbeefdeadbeefdeadbeef"} 1\n'
+        result = audit_telemetry(prometheus_text=text)
+        assert not result.ok
+
+    def test_trace_ids_are_exempt(self):
+        sp = Span(name="op", trace_id="a" * 16, span_id="1",
+                  attributes={"trace_id": "ab" * 20, "span_id": "cd" * 20})
+        assert audit_telemetry([sp]).ok
+
+    def test_summary_reports_counts(self):
+        result = audit_telemetry([_span(rows=1)])
+        assert "1 spans" in result.summary() and "ok" in result.summary()
+        bad = audit_telemetry([_span(secret="x")])
+        assert "violation" in bad.summary()

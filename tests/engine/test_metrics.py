@@ -47,3 +47,34 @@ class TestJobMetrics:
         summary = job.summary()
         assert summary["server_s"] == 1.0
         assert summary["result_bytes"] == 100.0
+
+    def test_summary_wire_keys_appear_as_a_pair(self):
+        # Wire keys are all-or-nothing: either nonzero member pulls in
+        # both, the missing one as 0.0 (documented on summary()).
+        job = JobMetrics()
+        job.wire_time = 0.02
+        summary = job.summary()
+        assert summary["wire_s"] == pytest.approx(0.02)
+        assert summary["queue_wait_s"] == 0.0
+
+        job = JobMetrics()
+        job.queue_wait = 0.01
+        summary = job.summary()
+        assert summary["queue_wait_s"] == pytest.approx(0.01)
+        assert summary["wire_s"] == 0.0
+
+    def test_summary_omits_wire_and_shard_keys_in_process(self):
+        # In-process transports never emit wire keys; single-store jobs
+        # never emit shard keys -- the key *set* is the contract.
+        summary = JobMetrics().summary()
+        for key in ("queue_wait_s", "wire_s", "shards_total",
+                    "shards_skipped", "failovers"):
+            assert key not in summary
+
+    def test_summary_shard_keys_appear_for_scatter_gather(self):
+        job = JobMetrics()
+        job.shards_total = 4
+        summary = job.summary()
+        assert summary["shards_total"] == 4.0
+        assert summary["shards_skipped"] == 0.0
+        assert summary["failovers"] == 0.0
